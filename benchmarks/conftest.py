@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures: one benchmark-scale database + workload.
+
+The scale is chosen so the whole suite finishes in minutes on a laptop
+while still exhibiting the paper's qualitative shapes (see DESIGN.md's
+substitution table). Result tables are written to
+``benchmarks/results/*.txt`` as each harness completes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.datasets.wikimedia import WikimediaConfig, generate_benchmark
+from repro.datasets.workload import WorkloadConfig, generate_workload
+from repro.engines.database import GraphDatabase
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Per-query time budget (the paper uses 600 s at its scale).
+QUERY_TIMEOUT = 15.0
+
+
+def write_results(name: str, text: str) -> None:
+    """Persist a paper-style table produced during the benchmarks."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def wikimedia_bench():
+    return generate_benchmark(
+        WikimediaConfig(
+            n_entities=600,
+            n_images=250,
+            n_misc_triples=4000,
+            K=16,
+            descriptor_dim=8,
+            n_clusters=10,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def database(wikimedia_bench) -> GraphDatabase:
+    return GraphDatabase(wikimedia_bench.graph, wikimedia_bench.knn_graph)
+
+
+@pytest.fixture(scope="session")
+def workload(wikimedia_bench):
+    return generate_workload(
+        wikimedia_bench,
+        WorkloadConfig(
+            k=10, n_q1=4, n_q2=2, n_q3=4, n_q4=3, n_q5=4, seed=2
+        ),
+    )

@@ -1,0 +1,140 @@
+"""Figure 2 regeneration (E1-E5, E9): query-time distributions per
+family for Baseline, Ring-KNN, and Ring-KNN-S.
+
+One pytest-benchmark entry per (family, engine) measures the family's
+total evaluation time; the paper-style per-family mean/median table is
+written to ``benchmarks/results/figure2.txt`` at the end. Expected
+shapes (Sec. 6.2): the baseline is slowest everywhere; the gap is
+moderate on Q1/Q1b, grows on Q2/Q3, and is largest on Q4/Q5; Ring-KNN-S
+leads on the simple Q1 family while Ring-KNN is more stable and wins the
+densely-constrained families.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import QUERY_TIMEOUT, write_results
+from repro.engines.baseline import BaselineEngine
+from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+from repro.experiments.figure2 import (
+    FIGURE2_HEADERS,
+    figure2_rows,
+    run_figure2,
+)
+from repro.experiments.report import format_table
+
+FAMILIES = ["Q1", "Q1b", "Q2", "Q2b", "Q2t", "Q3", "Q4", "Q5"]
+ENGINES = {
+    "baseline": BaselineEngine,
+    "ring-knn": RingKnnEngine,
+    "ring-knn-s": RingKnnSEngine,
+}
+
+# Collected across benchmark entries so the final table covers all runs.
+_collected: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("engine_name", list(ENGINES))
+def test_fig2_family(benchmark, database, workload, family, engine_name):
+    engine = ENGINES[engine_name](database)
+    queries = workload[family]
+
+    def run_family():
+        return run_figure2(
+            database, {family: queries}, [engine], timeout=QUERY_TIMEOUT
+        )
+
+    results = benchmark.pedantic(run_family, rounds=1, iterations=1)
+    series = results[family].series[engine.name]
+    benchmark.extra_info["mean_s"] = series.mean
+    benchmark.extra_info["median_s"] = series.median
+    benchmark.extra_info["solutions"] = int(sum(series.solutions))
+    benchmark.extra_info["timeouts"] = series.timeouts
+    _collected.setdefault(family, {})[engine.name] = series
+
+
+def test_fig2_report(benchmark, database, workload):
+    """Render the aggregated Figure-2 table (depends on the runs above
+    having populated the collection; falls back to a fresh run)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_collected) < len(FAMILIES):
+        engines = [cls(database) for cls in ENGINES.values()]
+        results = run_figure2(database, workload, engines, timeout=QUERY_TIMEOUT)
+        for family, fr in results.items():
+            _collected[family] = fr.series
+    from repro.experiments.figure2 import FamilyResult
+
+    results = {
+        family: FamilyResult(family, series)
+        for family, series in _collected.items()
+    }
+    from repro.experiments.violin import render_family_violins
+
+    table = format_table(
+        FIGURE2_HEADERS,
+        figure2_rows(results),
+        title="Figure 2: query time distribution per family (seconds)",
+    )
+    write_results("figure2", table)
+    write_results("figure2_violins", render_family_violins(results))
+
+    # Paper-shape assertions (mean times, Sec. 6.2). On the simple Q1
+    # families the paper's decisive claim is about Ring-KNN-S (~60%
+    # faster; Ring-KNN is only ~10-15% ahead, within noise at this
+    # sample size); on the densely-constrained families the decisive
+    # claim is about Ring-KNN.
+    for family in ("Q1", "Q1b"):
+        series = results[family].series
+        if "baseline" not in series:
+            continue
+        base = series["baseline"].mean
+        s_mean = series["ring-knn-s"].mean
+        assert s_mean <= base * 1.25, (
+            f"{family}: Ring-KNN-S ({s_mean:.2f}s) should beat the "
+            f"baseline ({base:.2f}s)"
+        )
+    for family in ("Q2", "Q2b", "Q2t", "Q3", "Q4", "Q5"):
+        series = results[family].series
+        if "baseline" not in series:
+            continue
+        base = series["baseline"].mean
+        knn = series["ring-knn"].mean
+        assert knn <= base * 1.25, (
+            f"{family}: Ring-KNN ({knn:.2f}s) should not lose to the "
+            f"baseline ({base:.2f}s)"
+        )
+    # The gap grows with constraint connectivity: Q5's speedup should
+    # exceed Q1's.
+    q1 = results["Q1"]
+    q5 = results["Q5"]
+    if "baseline" in q1.series and "baseline" in q5.series:
+        assert q5.speedup("ring-knn") >= q1.speedup("ring-knn")
+
+
+def test_fig2_bind_position(benchmark, database, workload):
+    """E9: Ring-KNN-S binds the first similarity variable earlier in the
+    elimination order than Ring-KNN on the symmetric Q1b family (the
+    paper reports 36% vs 68% of the variables processed)."""
+    engines = [RingKnnEngine(database), RingKnnSEngine(database)]
+    results = benchmark.pedantic(
+        lambda: run_figure2(
+            database, {"Q1b": workload["Q1b"]}, engines, timeout=QUERY_TIMEOUT
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    series = results["Q1b"].series
+    s_pos = series["ring-knn-s"].mean_sim_bind_fraction
+    knn_pos = series["ring-knn"].mean_sim_bind_fraction
+    assert s_pos is not None and knn_pos is not None
+    write_results(
+        "bind_position",
+        format_table(
+            ["engine", "mean first-sim-bind position (fraction of vars)"],
+            [["ring-knn-s", round(s_pos, 3)], ["ring-knn", round(knn_pos, 3)]],
+            title="Sec 6.2 (Q1b): position of first similarity-variable binding",
+        ),
+    )
+    assert s_pos <= knn_pos, (s_pos, knn_pos)

@@ -1,0 +1,68 @@
+"""Figure 3 regeneration (E8): Precision@k of the four retrieval
+strategies on the Anuran-like and DryBean-like datasets.
+
+Expected shapes (Sec. 6.3): kNN precision decreases with k; reverse is
+consistently below kNN; union below kNN; intersection competitive with
+kNN and overtaking it at larger k on the Anuran-like data; intersection
+returns at most k results and union at least k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_results
+from repro.datasets.classification import make_anuran_like, make_drybean_like
+from repro.experiments.figure3 import (
+    FIGURE3_HEADERS,
+    figure3_rows,
+    run_figure3,
+)
+from repro.experiments.report import format_table
+
+# Scaled-down datasets (same class-size profile) so the O(n K) reverse
+# computations stay laptop-friendly; K scales accordingly.
+SCALE = 0.12
+K = 40
+KS = list(range(5, K + 1, 5))
+
+DATASETS = {
+    "anuran": lambda: make_anuran_like(seed=10, scale=SCALE),
+    "drybean": lambda: make_drybean_like(seed=11, scale=SCALE),
+}
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+def test_fig3_dataset(benchmark, name):
+    points, labels = DATASETS[name]()
+
+    def run():
+        return run_figure3(points, labels, K=K, ks=KS)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        FIGURE3_HEADERS,
+        figure3_rows(rows),
+        title=f"Figure 3 ({name}-like): average Precision@k",
+    )
+    write_results(f"figure3_{name}", table)
+
+    by = {(p.strategy, p.k): p for p in rows}
+    # kNN precision decreases from small k to large k.
+    assert by[("knn", KS[0])].precision >= by[("knn", KS[-1])].precision
+    for k in KS:
+        # Result-size ordering (Sec. 6.3's closing observation).
+        assert by[("intersection", k)].avg_result_size <= k + 1e-9
+        assert by[("union", k)].avg_result_size >= k - 1e-9
+        # Reverse and union below kNN (consistent finding in the paper).
+        assert by[("reverse", k)].precision <= by[("knn", k)].precision + 0.03
+        assert by[("union", k)].precision <= by[("knn", k)].precision + 0.03
+    # Intersection is competitive with kNN: within a few points at the
+    # largest k (and often above it, per the paper).
+    assert (
+        by[("intersection", KS[-1])].precision
+        >= by[("knn", KS[-1])].precision - 0.05
+    )
+    benchmark.extra_info["knn_p_at_5"] = by[("knn", 5)].precision
+    benchmark.extra_info["knn_p_at_K"] = by[("knn", K)].precision
+    benchmark.extra_info["intersection_p_at_K"] = by[("intersection", K)].precision

@@ -1,0 +1,141 @@
+"""Micro-benchmarks of the succinct primitives.
+
+Not a paper artifact — a performance-regression guard over the
+operations every query spends its time in: bitvector rank/select,
+wavelet-tree rank / ``range_next_value``, Ring binding steps, and the
+K-NN structure's range computations. These use pytest-benchmark's
+normal multi-round measurement (unlike the one-shot harness benches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.triples import GraphData
+from repro.knn.builders import build_knn_graph_bruteforce
+from repro.knn.succinct import KnnRing
+from repro.ring.index import RingIndex
+from repro.ring.pattern import RingPatternState
+from repro.succinct.bitvector import BitVector
+from repro.succinct.wavelet_tree import WaveletTree
+
+
+@pytest.fixture(scope="module")
+def micro_data():
+    rng = np.random.default_rng(42)
+    bits = rng.integers(0, 2, 200_000)
+    bv = BitVector(bits)
+    seq = rng.integers(0, 5_000, 100_000)
+    wt = WaveletTree(seq, 5_000)
+    graph = GraphData(rng.integers(0, 3_000, size=(50_000, 3)))
+    ring = RingIndex(graph)
+    points = rng.normal(size=(2_000, 4))
+    knn = KnnRing(build_knn_graph_bruteforce(points, K=16))
+    return {
+        "bv": bv,
+        "wt": wt,
+        "ring": ring,
+        "graph": graph,
+        "knn": knn,
+        "rng": rng,
+    }
+
+
+def test_bitvector_rank(benchmark, micro_data):
+    bv = micro_data["bv"]
+    positions = np.linspace(0, len(bv), 64, dtype=np.int64)
+
+    def run():
+        total = 0
+        for p in positions:
+            total += bv.rank1(int(p))
+        return total
+
+    benchmark(run)
+
+
+def test_bitvector_select(benchmark, micro_data):
+    bv = micro_data["bv"]
+    indices = np.linspace(1, bv.n_ones, 64, dtype=np.int64)
+
+    def run():
+        total = 0
+        for j in indices:
+            total += bv.select1(int(j))
+        return total
+
+    benchmark(run)
+
+
+def test_wavelet_rank(benchmark, micro_data):
+    wt = micro_data["wt"]
+
+    def run():
+        total = 0
+        for c in range(0, 5_000, 100):
+            total += wt.rank(c, 50_000)
+        return total
+
+    benchmark(run)
+
+
+def test_wavelet_range_next_value(benchmark, micro_data):
+    wt = micro_data["wt"]
+
+    def run():
+        total = 0
+        for c in range(0, 5_000, 100):
+            v = wt.range_next_value(10_000, 60_000, c)
+            total += v if v is not None else 0
+        return total
+
+    benchmark(run)
+
+
+def test_ring_bind_pair(benchmark, micro_data):
+    ring = micro_data["ring"]
+    graph = micro_data["graph"]
+    rows = graph.spo[:: max(1, len(graph) // 64)]
+
+    def run():
+        total = 0
+        for s, p, _o in rows:
+            lo, hi = ring.pair_range("s", int(s), int(p))
+            total += hi - lo
+        return total
+
+    benchmark(run)
+
+
+def test_ring_full_pattern_walk(benchmark, micro_data):
+    ring = micro_data["ring"]
+    graph = micro_data["graph"]
+    rows = graph.spo[:: max(1, len(graph) // 32)]
+
+    def run():
+        total = 0
+        for s, p, o in rows:
+            state = RingPatternState(ring, {"p": int(p)})
+            state.bind("s", int(s))
+            state.bind("o", int(o))
+            total += state.count()
+        return total
+
+    benchmark(run)
+
+
+def test_knn_forward_backward_ranges(benchmark, micro_data):
+    knn = micro_data["knn"]
+    members = knn.members[::32]
+
+    def run():
+        total = 0
+        for u in members:
+            lo, hi = knn.forward_range(int(u), 8)
+            total += hi - lo
+            lo, hi = knn.backward_range(int(u), 8)
+            total += hi - lo
+        return total
+
+    benchmark(run)

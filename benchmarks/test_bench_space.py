@@ -1,0 +1,35 @@
+"""Space comparison (E6): the Sec. 6.2 storage paragraph.
+
+Paper numbers (at 617M triples): Ring + succinct K-NN = 12.15 GB,
+almost exactly the raw-data footprint it replaces; the baseline's plain
+K-NN adjacency pushes it to 17.99 GB. The shapes asserted here:
+``ring <= ~raw`` and ``baseline > ring``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_results
+from repro.experiments.report import format_table
+from repro.experiments.space import SPACE_HEADERS, run_space_comparison
+
+
+def test_space_comparison(benchmark, database):
+    report = benchmark.pedantic(
+        lambda: run_space_comparison(database), rounds=1, iterations=1
+    )
+    table = format_table(
+        SPACE_HEADERS,
+        report.rows(),
+        title="Sec 6.2: index space (Ring variants vs baseline vs raw)",
+    )
+    write_results("space", table)
+
+    assert report.baseline_bytes > report.ring_bytes
+    assert report.ring_vs_raw < 1.5, (
+        "the Ring (+ succinct K-NN) should stay within the raw-data "
+        f"order of magnitude; got ratio {report.ring_vs_raw:.2f}"
+    )
+    benchmark.extra_info["ring_MiB"] = report.ring_bytes / 2**20
+    benchmark.extra_info["baseline_MiB"] = report.baseline_bytes / 2**20
+    benchmark.extra_info["raw_MiB"] = report.raw_bytes / 2**20
+    benchmark.extra_info["baseline_vs_ring"] = report.baseline_vs_ring

@@ -1,0 +1,42 @@
+"""Per-delivered-tuple cost (E13): Sec. 7's "cost per delivered tuple
+is 2-5 times higher with the symmetric operator". The asserted shape:
+the symmetric family costs strictly more per tuple on both Ring
+engines (our pure-Python constants put the ratio below the paper's
+C++ 2-5x band but on the same side of 1)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import QUERY_TIMEOUT, write_results
+from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+from repro.experiments.report import format_table
+from repro.experiments.tuple_cost import TUPLE_COST_HEADERS, run_tuple_cost
+
+
+def test_symmetric_tuple_cost_higher(benchmark, database, workload):
+    engines = [RingKnnEngine(database), RingKnnSEngine(database)]
+    report = benchmark.pedantic(
+        lambda: run_tuple_cost(
+            database,
+            workload["Q1"],
+            workload["Q1b"],
+            engines,
+            timeout=QUERY_TIMEOUT,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_results(
+        "tuple_cost",
+        format_table(
+            TUPLE_COST_HEADERS,
+            report.table_rows(),
+            title="Sec 7: cost per delivered tuple, x <|_k y vs x ~_k y",
+        ),
+    )
+    for engine in ("ring-knn", "ring-knn-s"):
+        ratio = report.ratio(engine)
+        benchmark.extra_info[f"{engine}_ratio"] = ratio
+        assert ratio > 1.0, (
+            f"{engine}: symmetric per-tuple cost should exceed the "
+            f"asymmetric one; got ratio {ratio:.2f}"
+        )

@@ -1,0 +1,93 @@
+"""The paper's motivating example (Sec. 1): follow recommendations from
+a diamond motif *enriched with similarity*.
+
+Twitter's diamond pattern recommends w to x from pure topology:
+
+    (x, Follows, y), (x, Follows, z), (y, Follows, z),
+    (y, Follows, w), (z, Follows, w)
+
+The paper's enriched version replaces two of the topological edges with
+similarity between users (same interests / posts / region):
+
+    (x, Follows, y), (x, Follows, z), y ~ z, (y, Follows, w), z ~ w
+
+This example generates a synthetic social network with clustered
+interest vectors, runs both queries with the Ring-KNN engine, and shows
+that the similarity-enriched diamond surfaces recommendations the
+topology-only version misses.
+
+Run with::
+
+    python examples/social_recommendation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GraphData, GraphDatabase, RingKnnEngine, Var, build_knn_graph, parse_query
+
+N_USERS = 150
+FOLLOWS = N_USERS  # predicate id placed after the user ids
+
+
+def build_network(seed: int = 4) -> tuple[GraphDatabase, np.ndarray]:
+    """A follows-graph where users in the same interest cluster are more
+    likely to follow each other (homophily), plus the interests K-NN."""
+    rng = np.random.default_rng(seed)
+    n_clusters = 6
+    cluster = rng.integers(0, n_clusters, size=N_USERS)
+    centers = rng.normal(scale=3.0, size=(n_clusters, 5))
+    interests = centers[cluster] + rng.normal(size=(N_USERS, 5))
+
+    triples = []
+    for u in range(N_USERS):
+        n_follow = 3 + int(rng.integers(0, 5))
+        same = np.flatnonzero(cluster == cluster[u])
+        for _ in range(n_follow):
+            if same.size > 1 and rng.random() < 0.7:
+                v = int(rng.choice(same))
+            else:
+                v = int(rng.integers(0, N_USERS))
+            if v != u:
+                triples.append((u, FOLLOWS, v))
+    graph = GraphData(triples)
+    knn = build_knn_graph(interests, K=10, members=np.arange(N_USERS))
+    return GraphDatabase(graph, knn), cluster
+
+
+def main() -> None:
+    db, _cluster = build_network()
+    engine = RingKnnEngine(db)
+
+    topo_query = parse_query(
+        f"(?x, {FOLLOWS}, ?y) . (?x, {FOLLOWS}, ?z) . (?y, {FOLLOWS}, ?z)"
+        f" . (?y, {FOLLOWS}, ?w) . (?z, {FOLLOWS}, ?w)"
+    )
+    sim_query = parse_query(
+        f"(?x, {FOLLOWS}, ?y) . (?x, {FOLLOWS}, ?z) . sim(?y, ?z, 8)"
+        f" . (?y, {FOLLOWS}, ?w) . sim(?z, ?w, 8)"
+    )
+
+    topo = engine.evaluate(topo_query, timeout=60)
+    sim = engine.evaluate(sim_query, timeout=60)
+
+    def recommendations(result):
+        return {(s[Var("x")], s[Var("w")]) for s in result.solutions}
+
+    topo_recs = recommendations(topo)
+    sim_recs = recommendations(sim)
+    new_recs = sim_recs - topo_recs
+
+    print(f"topology-only diamond:  {len(topo.solutions):5d} matches, "
+          f"{len(topo_recs)} distinct (x -> w) recommendations "
+          f"[{topo.elapsed:.2f}s]")
+    print(f"similarity-enriched:    {len(sim.solutions):5d} matches, "
+          f"{len(sim_recs)} distinct recommendations [{sim.elapsed:.2f}s]")
+    print(f"recommendations only found via similarity: {len(new_recs)}")
+    for x, w in sorted(new_recs)[:5]:
+        print(f"  suggest user {w} to user {x}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Worst-case-optimal similarity joins on graph databases.
+
+A from-scratch Python reproduction of Arroyuelo, Bustos, Gómez-Brandón,
+Hogan, Navarro & Reutter, *Worst-Case-Optimal Similarity Joins on Graph
+Databases* (SIGMOD 2024): the Ring index, the succinct K-NN structure
+(S, S', B), Leapfrog TrieJoin extended with ``x <|_k y`` similarity
+clauses, the Ring-KNN / Ring-KNN-S variable orderings, the Sec. 5.3
+baseline, the output-size linear programs, and the full experimental
+harness (Figures 2-3 plus the space and materialization measurements).
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        GraphData, GraphDatabase, RingKnnEngine, build_knn_graph, parse_query,
+    )
+
+    graph = GraphData([(0, 9, 1), (1, 9, 2), (2, 9, 3)])
+    points = np.random.default_rng(0).normal(size=(4, 2))
+    knn = build_knn_graph(points, K=2)
+    db = GraphDatabase(graph, knn)
+    result = RingKnnEngine(db).evaluate(
+        parse_query("(?x, 9, ?y) . knn(?x, ?y, 2)")
+    )
+    print(result.solutions)
+"""
+
+from repro.engines import (
+    AutoEngine,
+    BaselineEngine,
+    ClassicSixPermEngine,
+    GraphDatabase,
+    KStarResult,
+    MaterializeEngine,
+    QueryResult,
+    RingKnnEngine,
+    RingKnnSEngine,
+    evaluate_k_star,
+)
+from repro.explain import PlanReport, explain
+from repro.graph import GraphData, TermDictionary
+from repro.knn import (
+    DistanceRangeIndex,
+    KnnGraph,
+    KnnRing,
+    build_knn_graph,
+)
+from repro.query import (
+    DistClause,
+    ExtendedBGP,
+    SimClause,
+    TriplePattern,
+    UndirectedSim,
+    Var,
+    orient_clauses,
+    parse_query,
+    sym_clauses,
+    symmetric_to_directed,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphData",
+    "TermDictionary",
+    "KnnGraph",
+    "KnnRing",
+    "DistanceRangeIndex",
+    "build_knn_graph",
+    "Var",
+    "TriplePattern",
+    "SimClause",
+    "DistClause",
+    "sym_clauses",
+    "ExtendedBGP",
+    "parse_query",
+    "UndirectedSim",
+    "orient_clauses",
+    "symmetric_to_directed",
+    "GraphDatabase",
+    "QueryResult",
+    "RingKnnEngine",
+    "RingKnnSEngine",
+    "BaselineEngine",
+    "MaterializeEngine",
+    "ClassicSixPermEngine",
+    "AutoEngine",
+    "evaluate_k_star",
+    "KStarResult",
+    "explain",
+    "PlanReport",
+    "__version__",
+]

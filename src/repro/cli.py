@@ -1,0 +1,250 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate  --out bench.npz [--entities N --images N --k K ...]
+    repro query     --data bench.npz --query "(?x, 0, ?y) . knn(?x, ?y, 5)"
+    repro explain   --data bench.npz --query "..." [--engine ring-knn]
+    repro figure2   --timeout 15 [--scale flags]
+    repro figure3   [--dataset anuran|drybean --scale 0.12 --K 40]
+    repro space     [--scale flags]
+
+``generate`` writes an ``.npz`` bundle (see :mod:`repro.graph.io`);
+``query``/``explain`` read one. The figure subcommands regenerate the
+paper artifacts at a configurable scale and print the tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets.classification import make_anuran_like, make_drybean_like
+from repro.datasets.wikimedia import WikimediaConfig, generate_benchmark
+from repro.datasets.workload import WorkloadConfig, generate_workload
+from repro.engines.auto import AutoEngine
+from repro.engines.baseline import BaselineEngine
+from repro.engines.classic import ClassicSixPermEngine
+from repro.engines.database import GraphDatabase
+from repro.engines.materialize import MaterializeEngine
+from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+from repro.experiments.figure2 import FIGURE2_HEADERS, figure2_rows, run_figure2
+from repro.experiments.figure3 import FIGURE3_HEADERS, figure3_rows, run_figure3
+from repro.experiments.report import format_table
+from repro.experiments.space import SPACE_HEADERS, run_space_comparison
+from repro.graph.io import load_bundle, save_bundle
+from repro.explain import explain
+from repro.query.parser import parse_query
+
+ENGINES = {
+    "auto": AutoEngine,
+    "ring-knn": RingKnnEngine,
+    "ring-knn-s": RingKnnSEngine,
+    "baseline": BaselineEngine,
+    "materialize": MaterializeEngine,
+    "sixperm-knn": ClassicSixPermEngine,
+}
+
+
+def _add_scale_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--entities", type=int, default=600)
+    parser.add_argument("--images", type=int, default=250)
+    parser.add_argument("--misc-triples", type=int, default=4000)
+    parser.add_argument("--K", type=int, default=16, dest="big_k")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _benchmark_from_args(args: argparse.Namespace):
+    return generate_benchmark(
+        WikimediaConfig(
+            n_entities=args.entities,
+            n_images=args.images,
+            n_misc_triples=args.misc_triples,
+            K=args.big_k,
+            seed=args.seed,
+        )
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    bench = _benchmark_from_args(args)
+    save_bundle(args.out, bench.graph, bench.knn_graph, bench.points)
+    print(
+        f"wrote {args.out}: {bench.graph.num_edges} triples, "
+        f"{bench.knn_graph.num_members} K-NN members (K={bench.knn_graph.K})"
+    )
+    return 0
+
+
+def _load_db(path: str) -> GraphDatabase:
+    graph, knn_graph, _points = load_bundle(path)
+    return GraphDatabase(graph, knn_graph)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = _load_db(args.data)
+    query = parse_query(args.query)
+    engine = ENGINES[args.engine](db)
+    result = engine.evaluate(query, timeout=args.timeout, limit=args.limit)
+    for solution in result.solutions[: args.print_limit]:
+        print(
+            "  " + ", ".join(
+                f"?{v.name}={c}" for v, c in sorted(
+                    solution.items(), key=lambda item: item[0].name
+                )
+            )
+        )
+    shown = min(len(result.solutions), args.print_limit)
+    if shown < len(result.solutions):
+        print(f"  ... ({len(result.solutions) - shown} more)")
+    flag = " (TIMED OUT)" if result.timed_out else ""
+    print(
+        f"{len(result.solutions)} solutions in {result.elapsed:.3f}s "
+        f"via {engine.name}{flag}"
+    )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    db = _load_db(args.data)
+    query = parse_query(args.query)
+    print(explain(db, query, engine=args.engine).format())
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    bench = _benchmark_from_args(args)
+    db = GraphDatabase(bench.graph, bench.knn_graph)
+    workload = generate_workload(
+        bench,
+        WorkloadConfig(
+            k=args.k,
+            n_q1=args.queries,
+            n_q2=max(1, args.queries // 2),
+            n_q3=args.queries,
+            n_q4=max(1, args.queries // 2),
+            n_q5=args.queries,
+            seed=2,
+        ),
+    )
+    engines = [BaselineEngine(db), RingKnnEngine(db), RingKnnSEngine(db)]
+    results = run_figure2(db, workload, engines, timeout=args.timeout)
+    print(
+        format_table(
+            FIGURE2_HEADERS,
+            figure2_rows(results),
+            title="Figure 2: query time distribution per family (seconds)",
+        )
+    )
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    maker = {"anuran": make_anuran_like, "drybean": make_drybean_like}[
+        args.dataset
+    ]
+    points, labels = maker(seed=10, scale=args.scale)
+    rows = run_figure3(
+        points, labels, K=args.knn_k, ks=list(range(5, args.knn_k + 1, 5))
+    )
+    print(
+        format_table(
+            FIGURE3_HEADERS,
+            figure3_rows(rows),
+            title=f"Figure 3 ({args.dataset}-like): average Precision@k",
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.graph.stats import STATS_HEADERS, compute_graph_stats
+
+    graph, knn_graph, _points = load_bundle(args.data)
+    stats = compute_graph_stats(graph)
+    print(format_table(STATS_HEADERS, stats.rows(), title="graph statistics"))
+    if knn_graph is not None:
+        print(
+            f"K-NN graph: {knn_graph.num_members} members, K={knn_graph.K}"
+            + (", truncated rows" if knn_graph.is_truncated else "")
+        )
+    return 0
+
+
+def _cmd_space(args: argparse.Namespace) -> int:
+    bench = _benchmark_from_args(args)
+    db = GraphDatabase(bench.graph, bench.knn_graph)
+    report = run_space_comparison(db)
+    print(
+        format_table(
+            SPACE_HEADERS,
+            report.rows(),
+            title="Sec 6.2: index space",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Worst-case-optimal similarity joins on graph databases",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a benchmark bundle")
+    _add_scale_flags(p)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("query", help="evaluate an extended BGP")
+    p.add_argument("--data", required=True, help=".npz bundle")
+    p.add_argument("--query", required=True)
+    p.add_argument("--engine", choices=sorted(ENGINES), default="ring-knn")
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--print-limit", type=int, default=20)
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("explain", help="explain a query plan")
+    p.add_argument("--data", required=True)
+    p.add_argument("--query", required=True)
+    p.add_argument(
+        "--engine", choices=["ring-knn", "ring-knn-s"], default="ring-knn"
+    )
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser("figure2", help="regenerate Figure 2")
+    _add_scale_flags(p)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--queries", type=int, default=4)
+    p.add_argument("--timeout", type=float, default=15.0)
+    p.set_defaults(func=_cmd_figure2)
+
+    p = sub.add_parser("figure3", help="regenerate one Figure 3 panel")
+    p.add_argument(
+        "--dataset", choices=["anuran", "drybean"], default="anuran"
+    )
+    p.add_argument("--scale", type=float, default=0.12)
+    p.add_argument("--K", type=int, default=40, dest="knn_k")
+    p.set_defaults(func=_cmd_figure3)
+
+    p = sub.add_parser("stats", help="describe a data bundle")
+    p.add_argument("--data", required=True)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("space", help="regenerate the space comparison")
+    _add_scale_flags(p)
+    p.set_defaults(func=_cmd_space)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Benchmark data generation (Sec. 6.1 of the paper, scaled down).
+
+The paper's benchmark combines the Wikidata graph with IMGpedia's image
+nodes and visual-descriptor K-NN graph (617M triples, K = 50). Neither
+dataset is available offline, and a pure-Python LTJ cannot drive that
+scale; :mod:`repro.datasets.wikimedia` therefore generates a structural
+stand-in — a skewed entity graph whose image nodes carry clustered
+descriptors — and :mod:`repro.datasets.workload` assembles the Q1-Q5
+query families with exactly the construction rules of Sec. 6.1.
+:mod:`repro.datasets.classification` provides Gaussian-mixture analogues
+of the Anuran Calls and Dry Bean datasets for the Fig. 3 precision
+experiment. See DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.classification import (
+    make_anuran_like,
+    make_drybean_like,
+    make_gaussian_mixture,
+)
+from repro.datasets.query_log import (
+    LogQuery,
+    generate_workload_from_log,
+    mine_log_queries,
+    splice_similarity,
+)
+from repro.datasets.wikimedia import WikimediaBenchmark, WikimediaConfig, generate_benchmark
+from repro.datasets.workload import WorkloadConfig, generate_workload
+
+__all__ = [
+    "WikimediaConfig",
+    "WikimediaBenchmark",
+    "generate_benchmark",
+    "WorkloadConfig",
+    "generate_workload",
+    "LogQuery",
+    "mine_log_queries",
+    "splice_similarity",
+    "generate_workload_from_log",
+    "make_gaussian_mixture",
+    "make_anuran_like",
+    "make_drybean_like",
+]

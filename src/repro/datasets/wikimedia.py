@@ -1,0 +1,198 @@
+"""Synthetic Wikidata + IMGpedia-like benchmark graph (Sec. 6.1 analogue).
+
+The generator produces the structural features the paper's evaluation
+depends on:
+
+* a skewed entity-to-entity relation layer (Zipf-distributed predicates
+  and preferential-attachment-style endpoints, like Wikidata's long-tail
+  degree distributions);
+* a designated set of *image* nodes, each depicted by one or more
+  entities (IMGpedia links into Wikidata via ``depicts``-style edges);
+* image attribute triples, so queries with lonely variables on images
+  (the Q5 family) have matches;
+* clustered visual descriptors per image, from which the exact K-NN
+  graph is computed — clusters correlate with an image "class" so
+  similarity joins are semantically non-trivial.
+
+Identifier layout (dense ints): predicates first, then classes/literals,
+then entities, then images — so images form a contiguous id range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.triples import GraphData
+from repro.knn.builders import build_knn_graph
+from repro.knn.graph import KnnGraph
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class WikimediaConfig:
+    """Knobs of the synthetic benchmark (defaults are test-friendly)."""
+
+    n_entities: int = 400
+    n_images: int = 150
+    n_predicates: int = 8
+    """Misc entity-to-entity predicates (besides depicts/type/attribute)."""
+
+    n_classes: int = 8
+    """Entity/image classes (objects of ``type`` triples)."""
+
+    n_literals: int = 40
+    """Attribute-value pool for image metadata triples."""
+
+    n_misc_triples: int = 2500
+    """Entity-to-entity edges."""
+
+    K: int = 20
+    """Construction-time K of the K-NN graph (paper: 50)."""
+
+    descriptor_dim: int = 8
+    n_clusters: int = 10
+    cluster_spread: float = 0.25
+    seed: int = 0
+
+
+@dataclass
+class WikimediaBenchmark:
+    """Generated benchmark: graph, K-NN graph, and id bookkeeping."""
+
+    config: WikimediaConfig
+    graph: GraphData
+    knn_graph: KnnGraph
+    points: np.ndarray
+    """Visual descriptors, parallel to ``image_ids``."""
+
+    image_ids: np.ndarray
+    entity_ids: np.ndarray
+    class_ids: np.ndarray
+    literal_ids: np.ndarray
+    predicates: dict[str, int]
+    """Named predicates: ``depicts``, ``type``, ``attr``, ``rel0..``."""
+
+    image_class: dict[int, int] = field(default_factory=dict)
+    """Image id -> class id (ground truth behind the descriptors)."""
+
+    @property
+    def depicts(self) -> int:
+        return self.predicates["depicts"]
+
+    @property
+    def type_predicate(self) -> int:
+        return self.predicates["type"]
+
+
+def _zipf_choice(rng: np.random.Generator, n: int, size: int, a: float = 1.3):
+    """Zipf-ish skewed choice over ``[0, n)`` without scipy machinery."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-a
+    weights /= weights.sum()
+    return rng.choice(n, size=size, p=weights)
+
+
+def generate_benchmark(config: WikimediaConfig | None = None) -> WikimediaBenchmark:
+    """Generate the synthetic benchmark deterministically from a seed."""
+    cfg = config or WikimediaConfig()
+    if cfg.n_images < cfg.K + 1:
+        raise ValidationError(
+            f"need n_images > K: got {cfg.n_images} <= {cfg.K}"
+        )
+    rng = np.random.default_rng(cfg.seed)
+
+    # ------------------------------------------------------------------
+    # id layout
+    # ------------------------------------------------------------------
+    named = ["depicts", "type", "attr"]
+    predicates = {name: i for i, name in enumerate(named)}
+    for j in range(cfg.n_predicates):
+        predicates[f"rel{j}"] = len(named) + j
+    n_pred_total = len(predicates)
+    class_base = n_pred_total
+    literal_base = class_base + cfg.n_classes
+    entity_base = literal_base + cfg.n_literals
+    image_base = entity_base + cfg.n_entities
+
+    class_ids = np.arange(class_base, class_base + cfg.n_classes, dtype=np.int64)
+    literal_ids = np.arange(
+        literal_base, literal_base + cfg.n_literals, dtype=np.int64
+    )
+    entity_ids = np.arange(
+        entity_base, entity_base + cfg.n_entities, dtype=np.int64
+    )
+    image_ids = np.arange(image_base, image_base + cfg.n_images, dtype=np.int64)
+
+    triples: list[tuple[int, int, int]] = []
+
+    # ------------------------------------------------------------------
+    # descriptors and classes first: image class drives both the K-NN
+    # structure and the type triples.
+    # ------------------------------------------------------------------
+    centers = rng.normal(size=(cfg.n_clusters, cfg.descriptor_dim))
+    image_cluster = rng.integers(0, cfg.n_clusters, size=cfg.n_images)
+    points = centers[image_cluster] + cfg.cluster_spread * rng.normal(
+        size=(cfg.n_images, cfg.descriptor_dim)
+    )
+    image_class_arr = image_cluster % cfg.n_classes
+    image_class = {
+        int(img): int(class_ids[c])
+        for img, c in zip(image_ids, image_class_arr)
+    }
+
+    # ------------------------------------------------------------------
+    # depicts layer: every image is depicted by >= 1 entity.
+    # ------------------------------------------------------------------
+    for idx, img in enumerate(image_ids):
+        n_depicting = 1 + int(rng.integers(0, 3))
+        owners = _zipf_choice(rng, cfg.n_entities, n_depicting)
+        for owner in owners:
+            triples.append(
+                (int(entity_ids[owner]), predicates["depicts"], int(img))
+            )
+
+    # type triples for entities and images.
+    entity_class = rng.integers(0, cfg.n_classes, size=cfg.n_entities)
+    for ent, cls in zip(entity_ids, entity_class):
+        triples.append((int(ent), predicates["type"], int(class_ids[cls])))
+    for img in image_ids:
+        triples.append((int(img), predicates["type"], image_class[int(img)]))
+
+    # image attribute triples (targets of Q5's lonely patterns).
+    for img in image_ids:
+        n_attrs = 1 + int(rng.integers(0, 3))
+        values = rng.integers(0, cfg.n_literals, size=n_attrs)
+        for value in values:
+            triples.append(
+                (int(img), predicates["attr"], int(literal_ids[value]))
+            )
+
+    # misc entity-to-entity edges with skewed predicates and endpoints.
+    rel_ids = np.array(
+        [predicates[f"rel{j}"] for j in range(cfg.n_predicates)], dtype=np.int64
+    )
+    if cfg.n_misc_triples:
+        which_rel = _zipf_choice(rng, cfg.n_predicates, cfg.n_misc_triples)
+        sources = _zipf_choice(rng, cfg.n_entities, cfg.n_misc_triples)
+        targets = _zipf_choice(rng, cfg.n_entities, cfg.n_misc_triples)
+        for r, s, o in zip(which_rel, sources, targets):
+            triples.append(
+                (int(entity_ids[s]), int(rel_ids[r]), int(entity_ids[o]))
+            )
+
+    graph = GraphData(triples)
+    knn_graph = build_knn_graph(points, cfg.K, members=image_ids)
+    return WikimediaBenchmark(
+        config=cfg,
+        graph=graph,
+        knn_graph=knn_graph,
+        points=points,
+        image_ids=image_ids,
+        entity_ids=entity_ids,
+        class_ids=class_ids,
+        literal_ids=literal_ids,
+        predicates=predicates,
+        image_class=image_class,
+    )

@@ -1,0 +1,39 @@
+"""Query engines (Sec. 5 of the paper).
+
+* :class:`RingKnnEngine` — the full technique: extended LTJ over the
+  Ring + succinct K-NN structure with the constraint-aware variable
+  ordering (**Ring-KNN**, Sec. 5.2).
+* :class:`RingKnnSEngine` — same machinery with the unrestricted
+  adaptive ordering (**Ring-KNN-S**, Sec. 5.1).
+* :class:`BaselineEngine` — classic LTJ over the triples followed by
+  similarity post-processing on plain adjacency (Sec. 5.3).
+* :class:`MaterializeEngine` — the Sec. 3.2 strawman that materializes
+  each ``kNN(.,.)`` relation into triples and re-indexes before running
+  plain LTJ (used by the materialization-cost experiment).
+* :func:`evaluate_k_star` — the Sec. 7 "k* best results" semantics.
+
+All engines operate on a shared :class:`GraphDatabase`, which owns the
+indexes, and return :class:`QueryResult` objects.
+"""
+
+from repro.engines.auto import AutoEngine
+from repro.engines.baseline import BaselineEngine
+from repro.engines.classic import ClassicSixPermEngine
+from repro.engines.database import GraphDatabase
+from repro.engines.kstar import KStarResult, evaluate_k_star
+from repro.engines.materialize import MaterializeEngine
+from repro.engines.result import QueryResult
+from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+
+__all__ = [
+    "GraphDatabase",
+    "QueryResult",
+    "RingKnnEngine",
+    "RingKnnSEngine",
+    "BaselineEngine",
+    "MaterializeEngine",
+    "ClassicSixPermEngine",
+    "AutoEngine",
+    "evaluate_k_star",
+    "KStarResult",
+]

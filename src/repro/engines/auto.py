@@ -1,0 +1,55 @@
+"""Strategy auto-selection based on the paper's Sec. 6.2 findings.
+
+The evaluation's summary: "In simpler cases (Q1), Ring-KNN-S is more
+effective by exploiting the opportunity of binding the variables
+involved in similarity clauses earlier ... As the queries get more
+complicated, however, with more similarity constraints or with
+constraints involved in cycles (Q2 onwards), the careful variable
+ordering of Ring-KNN protects it against bad cases."
+
+:class:`AutoEngine` encodes that decision rule: queries with at most one
+similarity clause and an acyclic constraint graph run under the
+unrestricted Ring-KNN-S ordering; everything else — multiple clauses,
+2-cycles from the symmetric operator, general cycles — runs under the
+constraint-aware Ring-KNN ordering (which also carries the Thm. 2/3 wco
+guarantees where they apply).
+"""
+
+from __future__ import annotations
+
+from repro.bounds.constraint_graph import ConstraintGraph
+from repro.engines.database import GraphDatabase
+from repro.engines.result import QueryResult
+from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+from repro.query.model import ExtendedBGP
+
+
+class AutoEngine:
+    """Pick Ring-KNN or Ring-KNN-S per query, per the Sec. 6.2 summary."""
+
+    name = "auto"
+
+    def __init__(self, db: GraphDatabase, exact_estimates: bool = False) -> None:
+        self._ring_knn = RingKnnEngine(db, exact_estimates=exact_estimates)
+        self._ring_knn_s = RingKnnSEngine(db, exact_estimates=exact_estimates)
+
+    def select(self, query: ExtendedBGP) -> str:
+        """Return the chosen engine name for ``query``."""
+        n_constraints = len(query.clauses) + len(query.dist_clauses)
+        if n_constraints <= 1 and ConstraintGraph(query).is_acyclic():
+            return self._ring_knn_s.name
+        return self._ring_knn.name
+
+    def evaluate(
+        self,
+        query: ExtendedBGP,
+        timeout: float | None = None,
+        limit: int | None = None,
+    ) -> QueryResult:
+        """Evaluate with the per-query selected strategy.
+
+        The result's ``engine`` field names the strategy actually used.
+        """
+        if self.select(query) == self._ring_knn_s.name:
+            return self._ring_knn_s.evaluate(query, timeout=timeout, limit=limit)
+        return self._ring_knn.evaluate(query, timeout=timeout, limit=limit)

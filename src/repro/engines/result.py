@@ -1,0 +1,41 @@
+"""Result container returned by every engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ltj.stats import EvaluationStats
+from repro.query.model import Var
+
+
+@dataclass
+class QueryResult:
+    """Solutions plus instrumentation of one query evaluation."""
+
+    engine: str
+    """Engine name: ``ring-knn``, ``ring-knn-s``, ``baseline``, ..."""
+
+    solutions: list[dict[Var, int]]
+    """The assignments found (possibly truncated by timeout/limit)."""
+
+    stats: EvaluationStats
+    """LTJ counters (bindings, attempts, elapsed, timed_out, ...)."""
+
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    """Per-phase wall-clock breakdown (e.g. ``materialize`` vs ``query``)."""
+
+    @property
+    def elapsed(self) -> float:
+        """Total wall-clock seconds."""
+        return self.stats.elapsed
+
+    @property
+    def timed_out(self) -> bool:
+        return self.stats.timed_out
+
+    def sorted_solutions(self) -> list[tuple[tuple[str, int], ...]]:
+        """Canonical, order-independent form for comparing engines."""
+        return sorted(
+            tuple(sorted((v.name, c) for v, c in sol.items()))
+            for sol in self.solutions
+        )

@@ -1,0 +1,125 @@
+"""The Ring-KNN and Ring-KNN-S engines (Secs. 5.1-5.2).
+
+Both compile an extended BGP into leapfrog relations — triple patterns
+over the Ring, similarity clauses over the succinct K-NN structure,
+distance clauses over the distance-range index — and run the LTJ engine.
+They differ *only* in the variable-ordering strategy:
+
+* **Ring-KNN** uses :class:`ConstraintAwareOrdering`, never binding the
+  target ``y`` of an unresolved ``x <|_k y`` edge while an unmarked
+  variable exists (the wco recipe of Sec. 4);
+* **Ring-KNN-S** uses the unrestricted :class:`MinCandidatesOrdering`,
+  "free to bind y before x" (Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+from repro.engines.database import GraphDatabase
+from repro.engines.result import QueryResult
+from repro.ltj.distance_relation import DistanceClauseRelation
+from repro.ltj.engine import LTJEngine
+from repro.ltj.knn_relation import KnnClauseRelation
+from repro.ltj.ordering import (
+    ConstraintAwareOrdering,
+    MinCandidatesOrdering,
+    OrderingStrategy,
+)
+from repro.ltj.triple_relation import RingTripleRelation
+from repro.query.model import ExtendedBGP
+
+
+class _RingEngineBase:
+    """Shared compile-and-run logic of the two Ring variants.
+
+    ``exact_estimates=True`` switches the per-pattern ``l_x`` values
+    from range sizes to exact distinct counts where available (an
+    ablation of the Sec. 5 estimation choice).
+    """
+
+    name = "ring-base"
+
+    def __init__(self, db: GraphDatabase, exact_estimates: bool = False) -> None:
+        self._db = db
+        self._exact_estimates = exact_estimates
+
+    def _ordering(self, query: ExtendedBGP) -> OrderingStrategy:
+        raise NotImplementedError
+
+    def compile(self, query: ExtendedBGP) -> list[object]:
+        """Build the leapfrog relations for a query (fresh state)."""
+        self._db.validate_query(query)
+        relations: list[object] = [
+            RingTripleRelation(
+                self._db.ring, t, exact_estimates=self._exact_estimates
+            )
+            for t in query.triples
+        ]
+        relations.extend(
+            KnnClauseRelation(self._db.knn_ring_for(c.relation), c)
+            for c in query.clauses
+        )
+        relations.extend(
+            DistanceClauseRelation(self._db.distance_index, c)
+            for c in query.dist_clauses
+        )
+        return relations
+
+    def evaluate(
+        self,
+        query: ExtendedBGP,
+        timeout: float | None = None,
+        limit: int | None = None,
+        project: list | None = None,
+        distinct: bool = False,
+    ) -> QueryResult:
+        """Run the query, returning solutions and instrumentation.
+
+        Args:
+            query: the extended BGP.
+            timeout: wall-clock budget in seconds (sets ``timed_out``).
+            limit: cap on the number of (projected) solutions.
+            project: keep only these variables in each solution
+                (SPARQL SELECT-style projection).
+            distinct: deduplicate the (projected) solutions.
+        """
+        engine = LTJEngine(
+            self.compile(query),
+            ordering=self._ordering(query),
+            timeout=timeout,
+            limit=None if (project and distinct) else limit,
+        )
+        if not project and not distinct:
+            solutions = engine.evaluate()
+            return QueryResult(self.name, solutions, engine.stats)
+        solutions = []
+        seen: set[tuple] = set()
+        for solution in engine.run():
+            if project:
+                solution = {v: solution[v] for v in project}
+            if distinct:
+                key = tuple(sorted((v.name, c) for v, c in solution.items()))
+                if key in seen:
+                    continue
+                seen.add(key)
+            solutions.append(solution)
+            if limit is not None and len(solutions) >= limit:
+                break
+        return QueryResult(self.name, solutions, engine.stats)
+
+
+class RingKnnEngine(_RingEngineBase):
+    """Ring-KNN: constraint-aware ordering (the paper's full technique)."""
+
+    name = "ring-knn"
+
+    def _ordering(self, query: ExtendedBGP) -> OrderingStrategy:
+        return ConstraintAwareOrdering()
+
+
+class RingKnnSEngine(_RingEngineBase):
+    """Ring-KNN-S: unrestricted adaptive min-``l_x`` ordering."""
+
+    name = "ring-knn-s"
+
+    def _ordering(self, query: ExtendedBGP) -> OrderingStrategy:
+        return MinCandidatesOrdering()

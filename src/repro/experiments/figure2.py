@@ -1,0 +1,139 @@
+"""Experiment E1-E5 + E9: the query-time distributions of Figure 2.
+
+Runs every query of every family on the three engines (Baseline,
+Ring-KNN, Ring-KNN-S), recording per-query wall-clock times, timeout
+flags, result counts, and — for the Q1b discussion's statistic — the
+position in the elimination order at which the first similarity-involved
+variable is bound. The paper reports these as violin plots with mean and
+median markers; we report the same distributions numerically
+(mean / median / percentiles), which carries the comparisons the paper
+draws from the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engines.database import GraphDatabase
+from repro.query.model import ExtendedBGP
+
+
+@dataclass
+class EngineSeries:
+    """Per-engine measurement series for one family."""
+
+    times: list[float] = field(default_factory=list)
+    solutions: list[int] = field(default_factory=list)
+    timeouts: int = 0
+    sim_bind_fractions: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.times)) if self.times else 0.0
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.times)) if self.times else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.times, q)) if self.times else 0.0
+
+    @property
+    def mean_sim_bind_fraction(self) -> float | None:
+        if not self.sim_bind_fractions:
+            return None
+        return float(np.mean(self.sim_bind_fractions))
+
+
+@dataclass
+class FamilyResult:
+    """All engine series for one query family (one violin-plot panel)."""
+
+    family: str
+    series: dict[str, EngineSeries]
+
+    def speedup(self, engine: str, over: str = "baseline") -> float:
+        """Mean-time ratio ``over / engine`` (>1 means ``engine`` wins)."""
+        denom = self.series[engine].mean
+        if denom == 0:
+            return float("inf")
+        return self.series[over].mean / denom
+
+
+def run_figure2(
+    db: GraphDatabase,
+    workload: dict[str, list[ExtendedBGP]],
+    engines: list[object],
+    timeout: float | None = 30.0,
+) -> dict[str, FamilyResult]:
+    """Run the Figure-2 measurement.
+
+    Args:
+        db: the indexed database (unused directly; engines carry it, but
+            kept for signature clarity in harness code).
+        workload: family name -> list of queries (from
+            :func:`repro.datasets.workload.generate_workload`).
+        engines: engine instances exposing ``name`` and
+            ``evaluate(query, timeout=...)``.
+        timeout: per-query budget in seconds (the paper uses 600 s).
+
+    Returns:
+        Family name -> :class:`FamilyResult`.
+    """
+    del db
+    results: dict[str, FamilyResult] = {}
+    for family, queries in workload.items():
+        series = {engine.name: EngineSeries() for engine in engines}
+        for query in queries:
+            for engine in engines:
+                outcome = engine.evaluate(query, timeout=timeout)
+                s = series[engine.name]
+                s.times.append(outcome.elapsed)
+                s.solutions.append(len(outcome.solutions))
+                if outcome.timed_out:
+                    s.timeouts += 1
+                fraction = outcome.stats.first_sim_bind_fraction
+                if fraction is not None:
+                    s.sim_bind_fractions.append(fraction)
+        results[family] = FamilyResult(family, series)
+    return results
+
+
+def figure2_rows(results: dict[str, FamilyResult]) -> list[list[object]]:
+    """Flatten to printable rows: one per (family, engine)."""
+    rows: list[list[object]] = []
+    for family, family_result in results.items():
+        for engine_name, s in family_result.series.items():
+            rows.append(
+                [
+                    family,
+                    engine_name,
+                    len(s.times),
+                    s.mean,
+                    s.median,
+                    s.percentile(90),
+                    s.timeouts,
+                    int(np.sum(s.solutions)),
+                    (
+                        round(s.mean_sim_bind_fraction, 3)
+                        if s.mean_sim_bind_fraction is not None
+                        else "-"
+                    ),
+                ]
+            )
+    return rows
+
+
+FIGURE2_HEADERS = [
+    "family",
+    "engine",
+    "queries",
+    "mean_s",
+    "median_s",
+    "p90_s",
+    "timeouts",
+    "solutions",
+    "sim_bind_pos",
+]

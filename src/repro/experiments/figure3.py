@@ -1,0 +1,136 @@
+"""Experiment E8: the Precision@k curves of Figure 3 (Sec. 6.3).
+
+Build the K-NN graph (paper: K = 100) of a labeled vector dataset, then
+for each query object ``x`` and each ``k`` evaluate four retrieval
+strategies:
+
+* ``kNN``          — the first ``k`` neighbors of ``x`` (``x <|_k y``);
+* ``reverse``      — all ``y`` listing ``x`` among their first ``k``
+  (``y <|_k x``);
+* ``intersection`` — both directions (``x ~_k y``);
+* ``union``        — either direction (the symmetric alternative the
+  paper disregards).
+
+Precision is the fraction of returned objects sharing the query's class,
+averaged over all query objects. The paper also replots the two
+symmetric strategies against their *average result size* instead of
+``k`` (since the intersection returns at most ``k`` and the union at
+least ``k``); :func:`run_figure3` reports the average result size per
+strategy so that comparison can be read off the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.knn.builders import build_knn_graph
+from repro.knn.graph import KnnGraph
+from repro.utils.errors import ValidationError
+
+
+@dataclass
+class PrecisionPoint:
+    """One (strategy, k) measurement."""
+
+    strategy: str
+    k: int
+    precision: float
+    avg_result_size: float
+
+
+def _precision_for(
+    neighbor_table: np.ndarray,
+    reverse_sets: list[set[int]],
+    labels: np.ndarray,
+    k: int,
+    strategy: str,
+) -> tuple[float, float]:
+    """Average precision and result size of one strategy at one ``k``."""
+    n = neighbor_table.shape[0]
+    precisions = []
+    sizes = []
+    for i in range(n):
+        forward = neighbor_table[i, :k]
+        if strategy == "knn":
+            returned = forward
+        else:
+            reverse = np.fromiter(reverse_sets[i], dtype=np.int64) if reverse_sets[i] else np.empty(0, dtype=np.int64)
+            if strategy == "reverse":
+                returned = reverse
+            elif strategy == "intersection":
+                returned = np.intersect1d(forward, reverse)
+            elif strategy == "union":
+                returned = np.union1d(forward, reverse)
+            else:
+                raise ValidationError(f"unknown strategy {strategy!r}")
+        sizes.append(returned.size)
+        if returned.size:
+            precisions.append(
+                float(np.mean(labels[returned] == labels[i]))
+            )
+    precision = float(np.mean(precisions)) if precisions else 0.0
+    return precision, float(np.mean(sizes))
+
+
+def run_figure3(
+    points: np.ndarray,
+    labels: np.ndarray,
+    K: int = 100,
+    ks: list[int] | None = None,
+    knn_graph: KnnGraph | None = None,
+) -> list[PrecisionPoint]:
+    """Compute Precision@k for the four strategies over one dataset.
+
+    Args:
+        points: ``(n, dim)`` vectors.
+        labels: class label per vector (the ground truth).
+        K: construction-time K of the K-NN graph (paper: 100).
+        ks: the query ``k`` values (paper: 5, 10, ..., 100).
+        knn_graph: optionally a prebuilt graph (must have ``K`` >= max k).
+
+    Returns:
+        One :class:`PrecisionPoint` per (strategy, k).
+    """
+    if ks is None:
+        ks = list(range(5, K + 1, 5))
+    if max(ks) > K:
+        raise ValidationError(f"ks go up to {max(ks)} > K={K}")
+    if knn_graph is None:
+        knn_graph = build_knn_graph(points, K)
+    if not np.array_equal(
+        knn_graph.members, np.arange(knn_graph.num_members)
+    ):
+        raise ValidationError(
+            "figure-3 harness requires member ids 0..n-1 (labels are "
+            "indexed by member id)"
+        )
+    table = knn_graph.neighbor_table
+    labels = np.asarray(labels)
+
+    results: list[PrecisionPoint] = []
+    for k in ks:
+        # Reverse k-NN sets: who lists i within their first k.
+        n = table.shape[0]
+        reverse_sets: list[set[int]] = [set() for _ in range(n)]
+        prefix = table[:, :k]
+        for src in range(n):
+            for dst in prefix[src]:
+                reverse_sets[int(dst)].add(src)
+        for strategy in ("knn", "reverse", "intersection", "union"):
+            precision, avg_size = _precision_for(
+                table, reverse_sets, labels, k, strategy
+            )
+            results.append(PrecisionPoint(strategy, k, precision, avg_size))
+    return results
+
+
+def figure3_rows(points: list[PrecisionPoint]) -> list[list[object]]:
+    return [
+        [p.k, p.strategy, round(p.precision, 4), round(p.avg_result_size, 2)]
+        for p in points
+    ]
+
+
+FIGURE3_HEADERS = ["k", "strategy", "precision", "avg_result_size"]

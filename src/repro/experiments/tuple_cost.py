@@ -1,0 +1,87 @@
+"""Experiment E13: cost per delivered tuple, asymmetric vs symmetric.
+
+Sec. 7 of the paper reports: "the cost per delivered tuple is 2-5 times
+higher with the symmetric operator with all Ring strategies". This
+harness measures milliseconds per delivered solution on the Q1 family
+(one ``x <|_k y`` clause) against Q1b (the symmetric ``x ~_k y``), for
+both Ring engines, and reports the symmetric/asymmetric ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engines.database import GraphDatabase
+from repro.query.model import ExtendedBGP
+
+
+@dataclass
+class TupleCostRow:
+    """Per-engine per-family tuple-cost measurement."""
+
+    engine: str
+    family: str
+    total_seconds: float
+    solutions: int
+
+    @property
+    def ms_per_tuple(self) -> float:
+        return 1000.0 * self.total_seconds / max(self.solutions, 1)
+
+
+@dataclass
+class TupleCostReport:
+    rows: list[TupleCostRow]
+
+    def ratio(self, engine: str) -> float:
+        """Symmetric / asymmetric ms-per-tuple for one engine."""
+        by_family = {
+            row.family: row for row in self.rows if row.engine == engine
+        }
+        asym = by_family["Q1"].ms_per_tuple
+        sym = by_family["Q1b"].ms_per_tuple
+        return sym / asym if asym else float("inf")
+
+    def table_rows(self) -> list[list[object]]:
+        out: list[list[object]] = []
+        for row in self.rows:
+            out.append(
+                [
+                    row.engine,
+                    row.family,
+                    round(row.total_seconds, 3),
+                    row.solutions,
+                    round(row.ms_per_tuple, 4),
+                ]
+            )
+        engines = sorted({row.engine for row in self.rows})
+        for engine in engines:
+            out.append(
+                [engine, "sym/asym ratio", "", "", round(self.ratio(engine), 2)]
+            )
+        return out
+
+
+TUPLE_COST_HEADERS = ["engine", "family", "seconds", "solutions", "ms/tuple"]
+
+
+def run_tuple_cost(
+    db: GraphDatabase,
+    q1: list[ExtendedBGP],
+    q1b: list[ExtendedBGP],
+    engines: list[object],
+    timeout: float | None = 30.0,
+) -> TupleCostReport:
+    """Measure per-tuple cost of the two Q1 flavors per engine."""
+    del db
+    rows: list[TupleCostRow] = []
+    for engine in engines:
+        for family, queries in (("Q1", q1), ("Q1b", q1b)):
+            total = 0.0
+            solutions = 0
+            for query in queries:
+                result = engine.evaluate(query, timeout=timeout)
+                total += result.elapsed
+                solutions += len(result.solutions)
+            rows.append(TupleCostRow(engine.name, family, total, solutions))
+    return TupleCostReport(rows)

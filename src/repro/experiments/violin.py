@@ -1,0 +1,91 @@
+"""Textual distribution sketches — the ASCII stand-in for Figure 2's
+violin plots.
+
+The paper presents per-family query-time distributions as violin plots
+with mean and median markers. Without a plotting stack, we render each
+engine's distribution as a log-scaled density bar built from deciles,
+with ``o`` marking the median and ``x`` the mean — enough to read the
+same comparisons (stability, tail behavior) off a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.experiments.figure2 import FamilyResult
+
+_DENSITY_GLYPHS = " .:-=+*#%@"
+
+
+def _log_positions(values: np.ndarray, lo: float, hi: float, width: int):
+    """Map values into [0, width) on a log scale."""
+    if hi <= lo:
+        return np.zeros(len(values), dtype=int)
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+    span = log_hi - log_lo or 1.0
+    pos = (np.log10(values) - log_lo) / span * (width - 1)
+    return np.clip(pos.astype(int), 0, width - 1)
+
+
+def render_violin(
+    values: list[float], lo: float, hi: float, width: int = 50
+) -> str:
+    """One engine's time distribution as a density bar.
+
+    ``o`` marks the median, ``x`` the mean (as in the paper's violins,
+    which carry both segments).
+    """
+    if not values:
+        return " " * width
+    arr = np.maximum(np.asarray(values, dtype=np.float64), 1e-6)
+    positions = _log_positions(arr, lo, hi, width)
+    counts = np.bincount(positions, minlength=width)
+    peak = counts.max() or 1
+    bar = [
+        _DENSITY_GLYPHS[
+            min(int(c / peak * (len(_DENSITY_GLYPHS) - 1)), len(_DENSITY_GLYPHS) - 1)
+        ]
+        for c in counts
+    ]
+    median_pos = int(
+        _log_positions(np.array([max(float(np.median(arr)), 1e-6)]), lo, hi, width)[0]
+    )
+    mean_pos = int(
+        _log_positions(np.array([max(float(np.mean(arr)), 1e-6)]), lo, hi, width)[0]
+    )
+    bar[median_pos] = "o"
+    bar[mean_pos] = "x" if mean_pos != median_pos else "8"
+    return "".join(bar)
+
+
+def render_family_violins(
+    results: dict[str, FamilyResult], width: int = 50
+) -> str:
+    """Render every (family, engine) distribution on a shared log axis.
+
+    Returns a text block comparable to Figure 2: one row per engine per
+    family, axis bounds printed in the header.
+    """
+    all_times = [
+        t
+        for fr in results.values()
+        for s in fr.series.values()
+        for t in s.times
+    ]
+    if not all_times:
+        return "(no measurements)"
+    lo = max(min(all_times), 1e-6)
+    hi = max(max(all_times), lo * 10)
+    header = (
+        f"time axis (log scale): {lo:.4g}s {'-' * (width - 20)} {hi:.4g}s\n"
+        "o = median, x = mean\n"
+    )
+    lines = [header]
+    for family, fr in results.items():
+        for engine, series in fr.series.items():
+            bar = render_violin(series.times, lo, hi, width)
+            lines.append(f"{family:>4} {engine:<11} |{bar}|")
+        lines.append("")
+    return "\n".join(lines)

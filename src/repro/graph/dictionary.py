@@ -1,0 +1,57 @@
+"""Bidirectional mapping between human-readable terms and integer ids.
+
+The paper (and the Ring) works over a universe ``U = [1..D]`` of integer
+constants; real datasets use IRIs and literals. :class:`TermDictionary`
+provides the usual dictionary-encoding step so that examples and datasets
+can be authored with strings while every engine operates on dense ids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class TermDictionary:
+    """Dense, insertion-ordered string<->id dictionary (ids from 0)."""
+
+    def __init__(self, terms: Iterable[str] = ()) -> None:
+        self._term_to_id: dict[str, int] = {}
+        self._id_to_term: list[str] = []
+        for term in terms:
+            self.add(term)
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def add(self, term: str) -> int:
+        """Intern ``term``, returning its (possibly existing) id."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_term)
+        self._term_to_id[term] = new_id
+        self._id_to_term.append(term)
+        return new_id
+
+    def id_of(self, term: str) -> int:
+        """Id of an interned term; raises ``KeyError`` if unknown."""
+        return self._term_to_id[term]
+
+    def term_of(self, term_id: int) -> str:
+        """Term for an id; raises ``IndexError`` if out of range."""
+        if term_id < 0:
+            raise IndexError(f"term id {term_id} is negative")
+        return self._id_to_term[term_id]
+
+    def encode_triples(
+        self, triples: Iterable[tuple[str, str, str]]
+    ) -> list[tuple[int, int, int]]:
+        """Intern every term of string triples, returning id triples."""
+        return [(self.add(s), self.add(p), self.add(o)) for s, p, o in triples]
+
+    def decode_solution(self, solution: dict[str, int]) -> dict[str, str]:
+        """Map a variable assignment from ids back to terms."""
+        return {var: self.term_of(value) for var, value in solution.items()}

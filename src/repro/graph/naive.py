@@ -1,0 +1,128 @@
+"""Brute-force evaluation of extended BGPs — the correctness oracle.
+
+Evaluates Def. 5 semantics directly: enumerate assignments by scanning
+the edge table per triple pattern, then filter by every similarity and
+distance clause. Exponential in general and only suitable for the small
+instances used in tests, which is exactly its job.
+"""
+
+from __future__ import annotations
+
+from repro.graph.triples import GraphData
+from repro.knn.graph import KnnGraph
+from repro.query.model import ExtendedBGP, Var, is_var
+
+
+def _candidate_rows(graph: GraphData, pattern, assignment: dict[Var, int]):
+    """Rows of the edge table matching a (partially assigned) pattern."""
+    def resolve(term):
+        if is_var(term):
+            return assignment.get(term)
+        return term
+
+    return graph.matching(
+        resolve(pattern.s), resolve(pattern.p), resolve(pattern.o)
+    )
+
+
+def _pattern_consistent(pattern, row, assignment: dict[Var, int]) -> dict[Var, int] | None:
+    """Extend ``assignment`` so the pattern matches ``row``, or None."""
+    extended = dict(assignment)
+    for term, value in zip(pattern.terms, row):
+        value = int(value)
+        if is_var(term):
+            bound = extended.get(term)
+            if bound is None:
+                extended[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return extended
+
+
+def evaluate_naive(
+    query: ExtendedBGP,
+    graph: GraphData,
+    knn: KnnGraph | None = None,
+    distances: dict[tuple[int, int], float] | None = None,
+) -> list[dict[Var, int]]:
+    """All solutions of ``query`` over ``graph`` (and K-NN graph), by
+    exhaustive search.
+
+    Args:
+        query: the extended BGP.
+        graph: the database graph.
+        knn: the K-NN graph, required if the query has ``<|_k`` clauses.
+        distances: symmetric pairwise distances, required for
+            ``dist(x, y) <= d`` clauses; missing pairs count as "too far".
+
+    Returns:
+        De-duplicated assignments over all query variables.
+    """
+    solutions: list[dict[Var, int]] = []
+
+    def clause_domain(assignment: dict[Var, int]) -> list[Var]:
+        """Variables occurring only in clauses, still unassigned."""
+        out = []
+        for atom in (*query.clauses, *query.dist_clauses):
+            for v in atom.variables:
+                if v not in assignment and v not in out:
+                    out.append(v)
+        return out
+
+    def check_clauses(assignment: dict[Var, int]) -> bool:
+        for clause in query.clauses:
+            if knn is None:
+                raise ValueError("query has k-NN clauses but no KnnGraph given")
+            x = assignment[clause.x] if is_var(clause.x) else clause.x
+            y = assignment[clause.y] if is_var(clause.y) else clause.y
+            if not knn.is_knn(x, y, clause.k):
+                return False
+        for clause in query.dist_clauses:
+            if distances is None:
+                raise ValueError(
+                    "query has distance clauses but no distances given"
+                )
+            x = assignment[clause.x] if is_var(clause.x) else clause.x
+            y = assignment[clause.y] if is_var(clause.y) else clause.y
+            d = distances.get((x, y), distances.get((y, x)))
+            if d is None or d > clause.d:
+                return False
+        return True
+
+    def recurse(pattern_index: int, assignment: dict[Var, int]) -> None:
+        if pattern_index == len(query.triples):
+            # Assign clause-only variables by brute force over the
+            # relevant universes.
+            free = clause_domain(assignment)
+            if not free:
+                if check_clauses(assignment):
+                    solutions.append(dict(assignment))
+                return
+            var = free[0]
+            universe: set[int] = set()
+            if knn is not None:
+                universe.update(int(m) for m in knn.members)
+            if distances is not None:
+                for a, b in distances:
+                    universe.add(a)
+                    universe.add(b)
+            for value in sorted(universe):
+                assignment[var] = value
+                recurse(pattern_index, assignment)
+                del assignment[var]
+            return
+        pattern = query.triples[pattern_index]
+        for row in _candidate_rows(graph, pattern, assignment):
+            extended = _pattern_consistent(pattern, row, assignment)
+            if extended is not None:
+                recurse(pattern_index + 1, extended)
+
+    recurse(0, {})
+    # De-duplicate (different derivations can yield the same assignment).
+    unique: dict[tuple, dict[Var, int]] = {}
+    for sol in solutions:
+        key = tuple(sorted((v.name, c) for v, c in sol.items()))
+        unique[key] = sol
+    return list(unique.values())

@@ -1,0 +1,44 @@
+"""K-nearest-neighbor graphs and their succinct representation.
+
+Implements Sec. 3 of the paper:
+
+* :mod:`repro.knn.graph` — the :class:`KnnGraph` model (Def. 4): for every
+  participating node ``u``, an ordered list ``K-NN(u)`` of its ``K``
+  closest other nodes.
+* :mod:`repro.knn.builders` — exact construction (brute force for any
+  metric, ``scipy`` KD-tree for Euclidean) and the approximate NN-Descent
+  algorithm the paper cites for scalable construction.
+* :mod:`repro.knn.succinct` — :class:`KnnRing`: the sequences ``S`` and
+  ``S'`` plus bitvector ``B`` of Defs. 7-8, with the range computations of
+  Lemmas 1-2 that let LTJ treat ``x <|_k y`` as trie ranges.
+* :mod:`repro.knn.adjacency` — the plain (uncompressed) direct + reverse
+  adjacency form the baseline stores (Sec. 5.3).
+* :mod:`repro.knn.distance_index` — the distance-graph sequence ``D``
+  sketched at the end of Sec. 3.3 for range-based similarity
+  (``dist(x, y) <= d``).
+"""
+
+from repro.knn.adjacency import KnnAdjacency
+from repro.knn.builders import (
+    build_knn_graph,
+    build_knn_graph_bruteforce,
+    build_knn_graph_kdtree,
+    build_knn_graph_nn_descent,
+)
+from repro.knn.distance_index import DistanceRangeIndex
+from repro.knn.graph import KnnGraph
+from repro.knn.metrics import METRICS, metric_by_name
+from repro.knn.succinct import KnnRing
+
+__all__ = [
+    "KnnGraph",
+    "KnnRing",
+    "KnnAdjacency",
+    "DistanceRangeIndex",
+    "build_knn_graph",
+    "build_knn_graph_bruteforce",
+    "build_knn_graph_kdtree",
+    "build_knn_graph_nn_descent",
+    "METRICS",
+    "metric_by_name",
+]

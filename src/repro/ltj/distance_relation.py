@@ -1,0 +1,110 @@
+"""LTJ relation adapter for a range clause ``dist(x, y) <= d``.
+
+Implements the Sec. 3.3 extension: binding either side of the clause
+selects the distance-sorted region of that node in the sequence ``D``
+and binary-searches the prefix within distance ``d``; the resulting
+range participates in leapfrog intersections exactly like a ``S``/``S'``
+range. Because metric distance is symmetric, both sides use the same
+index.
+"""
+
+from __future__ import annotations
+
+from repro.knn.distance_index import DistanceRangeIndex
+from repro.query.model import DistClause, Var, is_var
+from repro.utils.errors import StructureError
+
+
+class DistanceClauseRelation:
+    """A clause ``dist(x, y) <= d`` viewed as a leapfrog relation."""
+
+    def __init__(self, index: DistanceRangeIndex, clause: DistClause) -> None:
+        self._index = index
+        self._clause = clause
+        self._d = float(clause.d)
+        self._values: dict[str, int | None] = {"x": None, "y": None}
+        self._undo: list[str] = []
+        self._failed_depth: int | None = None
+        if not is_var(clause.x):
+            self._values["x"] = clause.x
+        if not is_var(clause.y):
+            self._values["y"] = clause.y
+        if self._values["x"] is not None and self._values["y"] is not None:
+            if not index.contains(self._values["x"], self._values["y"], self._d):
+                self._failed_depth = 0
+
+    @property
+    def clause(self) -> DistClause:
+        return self._clause
+
+    @property
+    def variables(self) -> frozenset[Var]:
+        return frozenset(self._clause.variables)
+
+    @property
+    def free_variables(self) -> frozenset[Var]:
+        bound = {self._term(side) for side in self._undo}
+        return frozenset(v for v in self._clause.variables if v not in bound)
+
+    def _term(self, side: str):
+        return self._clause.x if side == "x" else self._clause.y
+
+    def is_empty(self) -> bool:
+        return self._failed_depth is not None
+
+    def _side_of(self, var: Var) -> str:
+        if is_var(self._clause.x) and var == self._clause.x:
+            return "x"
+        if is_var(self._clause.y) and var == self._clause.y:
+            return "y"
+        raise StructureError(f"{var!r} does not occur in {self._clause!r}")
+
+    def _other(self, side: str) -> str:
+        return "y" if side == "x" else "x"
+
+    def leap(self, var: Var, lower: int) -> int | None:
+        if self._failed_depth is not None:
+            return None
+        side = self._side_of(var)
+        if self._values[side] is not None:
+            raise StructureError(f"{var!r} is already bound")
+        anchor = self._values[self._other(side)]
+        if anchor is not None:
+            return self._index.leap_within(anchor, self._d, lower)
+        return self._index.next_member(lower)
+
+    def bind(self, var: Var, value: int) -> bool:
+        side = self._side_of(var)
+        anchor = self._values[self._other(side)]
+        self._values[side] = value
+        self._undo.append(side)
+        if self._failed_depth is not None:
+            return False
+        if anchor is None:
+            ok = self._index.count_within(value, self._d) > 0
+        else:
+            ok = self._index.contains(anchor, value, self._d)
+        if not ok:
+            self._failed_depth = len(self._undo)
+        return ok
+
+    def unbind(self, var: Var) -> None:
+        side = self._side_of(var)
+        if not self._undo or self._undo[-1] != side:
+            raise StructureError(f"unbind({var!r}) out of order")
+        self._undo.pop()
+        self._values[side] = None
+        if self._failed_depth is not None and self._failed_depth > len(self._undo):
+            self._failed_depth = None
+
+    def estimate(self, var: Var) -> int:
+        """Per-binding candidate count (the data-dependent ``k`` the
+        paper notes the algorithm knows and can use for ordering)."""
+        side = self._side_of(var)
+        anchor = self._values[self._other(side)]
+        if anchor is not None:
+            return self._index.count_within(anchor, self._d)
+        return int(self._index.members.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DistanceClauseRelation({self._clause!r})"

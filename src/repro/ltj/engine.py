@@ -1,0 +1,263 @@
+"""The Leapfrog TrieJoin engine over leapfrog relations.
+
+Classic variable elimination (Sec. 2.2) generalized to any mix of
+:class:`~repro.ltj.relation.LeapRelation` atoms: at each step an
+ordering strategy picks a variable, the engine leapfrog-intersects the
+candidate streams of every atom containing it, and each intersection
+member is bound in those atoms before recursing. Similarity clauses thus
+participate in the very same intersections as triple patterns, which is
+the core idea of Sec. 3.3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.ltj.ordering import MinCandidatesOrdering, OrderingContext, OrderingStrategy
+from repro.ltj.stats import EvaluationStats
+from repro.query.model import Var
+from repro.utils.errors import QueryError
+from repro.utils.timing import Stopwatch
+
+# How many candidate attempts between timeout polls.
+_TIMEOUT_CHECK_INTERVAL = 256
+
+
+class LTJEngine:
+    """Evaluate a conjunction of leapfrog relations by LTJ."""
+
+    def __init__(
+        self,
+        relations: Sequence[object],
+        ordering: OrderingStrategy | None = None,
+        timeout: float | None = None,
+        limit: int | None = None,
+        intersection: str = "leapfrog",
+    ) -> None:
+        """Set up an evaluation.
+
+        Args:
+            relations: the atoms (each a :class:`LeapRelation`).
+            ordering: variable-ordering strategy; defaults to the
+                adaptive min-``l_x`` rule.
+            timeout: optional wall-clock budget in seconds. On expiry the
+                run stops and ``stats.timed_out`` is set (no exception).
+            limit: optional cap on the number of solutions.
+            intersection: ``"leapfrog"`` (Veldhuizen's algorithm: always
+                advance the atom with the smallest candidate to the
+                largest one) or ``"roundrobin"`` (repeated passes until a
+                fixpoint). Both are correct; leapfrog issues fewer
+                ``leap`` calls on skewed intersections.
+        """
+        if not relations:
+            raise QueryError("LTJ requires at least one relation")
+        if intersection not in ("leapfrog", "roundrobin"):
+            raise QueryError(
+                f"unknown intersection strategy {intersection!r}"
+            )
+        self._relations = list(relations)
+        self._ordering = ordering or MinCandidatesOrdering()
+        self._timeout = timeout
+        self._limit = limit
+        self._intersection = intersection
+        self._variables: tuple[Var, ...] = self._collect_variables()
+        self._atom_count = {
+            v: sum(1 for r in self._relations if v in r.variables)
+            for v in self._variables
+        }
+        self._lonely = frozenset(
+            v for v, count in self._atom_count.items() if count == 1
+        )
+        self.stats = EvaluationStats()
+        self.stats.sim_variables = frozenset(
+            v
+            for r in self._relations
+            if self._is_similarity(r)
+            for v in r.variables
+        )
+
+    @staticmethod
+    def _is_similarity(relation: object) -> bool:
+        # Duck-typed: clause relations carry a `clause` attribute.
+        return hasattr(relation, "clause")
+
+    def _collect_variables(self) -> tuple[Var, ...]:
+        seen: list[Var] = []
+        for relation in self._relations:
+            for var in sorted(relation.variables):
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    @property
+    def variables(self) -> tuple[Var, ...]:
+        return self._variables
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def run(self) -> Iterator[dict[Var, int]]:
+        """Enumerate solutions as variable -> constant dictionaries.
+
+        Stops early (without raising) when the timeout expires or the
+        solution limit is reached; check ``self.stats`` afterwards.
+        """
+        stopwatch = Stopwatch(self._timeout)
+        self.stats = EvaluationStats()
+        self.stats.sim_variables = frozenset(
+            v
+            for r in self._relations
+            if self._is_similarity(r)
+            for v in r.variables
+        )
+        if any(r.is_empty() for r in self._relations):
+            self.stats.elapsed = stopwatch.elapsed()
+            return
+        assignment: dict[Var, int] = {}
+        try:
+            yield from self._search(assignment, stopwatch, first_descent=True)
+        except _Expired:
+            self.stats.timed_out = True
+        self.stats.elapsed = stopwatch.elapsed()
+
+    def evaluate(self) -> list[dict[Var, int]]:
+        """Collect all solutions into a list (see :meth:`run`)."""
+        return list(self.run())
+
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        assignment: dict[Var, int],
+        stopwatch: Stopwatch,
+        first_descent: bool,
+    ) -> Iterator[dict[Var, int]]:
+        if len(assignment) == len(self._variables):
+            self.stats.solutions += 1
+            yield dict(assignment)
+            return
+        var = self._ordering.choose(self._context(assignment))
+        if first_descent:
+            self.stats.first_descent_order.append(var)
+        atoms = [r for r in self._relations if var in r.free_variables]
+        candidate = 0
+        while True:
+            candidate = self._leapfrog(atoms, var, candidate)
+            if candidate is None:
+                return
+            self.stats.attempts += 1
+            if self.stats.attempts % _TIMEOUT_CHECK_INTERVAL == 0:
+                if stopwatch.expired():
+                    raise _Expired()
+            ok = True
+            bound_atoms = []
+            for relation in atoms:
+                bound_atoms.append(relation)
+                if not relation.bind(var, candidate):
+                    ok = False
+                    break
+            if ok:
+                self.stats.bindings += 1
+                assignment[var] = candidate
+                yield from self._search(assignment, stopwatch, first_descent)
+                first_descent = False
+                del assignment[var]
+                if (
+                    self._limit is not None
+                    and self.stats.solutions >= self._limit
+                ):
+                    for relation in reversed(bound_atoms):
+                        relation.unbind(var)
+                    return
+            for relation in reversed(bound_atoms):
+                relation.unbind(var)
+            candidate += 1
+
+    def _leapfrog(
+        self, atoms: list[object], var: Var, lower: int
+    ) -> int | None:
+        """Smallest value ``>= lower`` admitted by every atom, or None."""
+        if not atoms:
+            raise QueryError(f"variable {var!r} occurs in no relation")
+        if self._intersection == "leapfrog":
+            return self._leapfrog_sorted(atoms, var, lower)
+        return self._leapfrog_roundrobin(atoms, var, lower)
+
+    def _leapfrog_roundrobin(
+        self, atoms: list[object], var: Var, lower: int
+    ) -> int | None:
+        """Repeated passes over all atoms until a full pass agrees."""
+        candidate = lower
+        while True:
+            advanced = False
+            for relation in atoms:
+                self.stats.leap_calls += 1
+                value = relation.leap(var, candidate)
+                if value is None:
+                    return None
+                if value > candidate:
+                    candidate = value
+                    advanced = True
+            if not advanced:
+                return candidate
+
+    def _leapfrog_sorted(
+        self, atoms: list[object], var: Var, lower: int
+    ) -> int | None:
+        """Veldhuizen's leapfrog: keep the atoms' current candidates and
+        repeatedly leap the *smallest* one to the largest, until all
+        candidates coincide."""
+        candidates: list[int] = []
+        for relation in atoms:
+            self.stats.leap_calls += 1
+            value = relation.leap(var, lower)
+            if value is None:
+                return None
+            candidates.append(value)
+        if len(atoms) == 1:
+            return candidates[0]
+        while True:
+            largest = max(candidates)
+            smallest_idx = min(
+                range(len(candidates)), key=candidates.__getitem__
+            )
+            if candidates[smallest_idx] == largest:
+                return largest
+            self.stats.leap_calls += 1
+            value = atoms[smallest_idx].leap(var, largest)
+            if value is None:
+                return None
+            candidates[smallest_idx] = value
+
+    def _context(self, assignment: dict[Var, int]) -> OrderingContext:
+        unbound = tuple(v for v in self._variables if v not in assignment)
+        estimates: dict[Var, int] = {}
+        for var in unbound:
+            best = None
+            for relation in self._relations:
+                if var in relation.free_variables:
+                    est = relation.estimate(var)
+                    if best is None or est < best:
+                        best = est
+            estimates[var] = best if best is not None else 0
+        edges: list[tuple[Var, Var]] = []
+        unbound_set = set(unbound)
+        for relation in self._relations:
+            clause = getattr(relation, "clause", None)
+            if clause is None:
+                continue
+            x, y = clause.x, clause.y
+            if x in unbound_set and y in unbound_set:
+                edges.append((x, y))
+                if not hasattr(clause, "k"):
+                    # Distance clauses are symmetric: both directions.
+                    edges.append((y, x))
+        return OrderingContext(
+            unbound=unbound,
+            estimates=estimates,
+            lonely=self._lonely,
+            constraint_edges=tuple(edges),
+        )
+
+
+class _Expired(Exception):
+    """Internal signal: the evaluation's time budget ran out."""

@@ -1,0 +1,149 @@
+"""LTJ relation adapter for a similarity clause ``x <|_k y``.
+
+This realizes Sec. 3.3: the clause behaves exactly as if the relation
+``kNN(x, y)`` had been materialized with tries ``T_xy`` and ``T_yx``,
+but the trie nodes are simulated as ranges of the wavelet trees over
+``S`` (when ``x`` is bound first) or ``S'`` (when ``y`` is bound first),
+per Lemma 2. Leapfrog intersections run through ``range_next_value`` on
+those ranges, never materializing anything.
+"""
+
+from __future__ import annotations
+
+from repro.knn.succinct import KnnRing
+from repro.query.model import SimClause, Var, is_var
+from repro.utils.errors import StructureError
+
+
+class KnnClauseRelation:
+    """A clause ``x <|_k y`` viewed as a leapfrog relation."""
+
+    def __init__(self, knn: KnnRing, clause: SimClause) -> None:
+        self._knn = knn
+        self._clause = clause
+        self._k = clause.k
+        # Current bindings of the two sides (None = unbound). Constants
+        # are bound immediately and never pushed on the undo stack.
+        self._x_value: int | None = None
+        self._y_value: int | None = None
+        self._undo: list[str] = []
+        self._failed_depth: int | None = None
+        if not is_var(clause.x):
+            self._x_value = clause.x
+        if not is_var(clause.y):
+            self._y_value = clause.y
+        if self._x_value is not None and self._y_value is not None:
+            # Fully constant clause: a static filter.
+            if not knn.contains(self._x_value, self._y_value, self._k):
+                self._failed_depth = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def clause(self) -> SimClause:
+        return self._clause
+
+    @property
+    def variables(self) -> frozenset[Var]:
+        return frozenset(self._clause.variables)
+
+    @property
+    def free_variables(self) -> frozenset[Var]:
+        free = set()
+        if is_var(self._clause.x) and self._clause.x not in self._bound_vars():
+            free.add(self._clause.x)
+        if is_var(self._clause.y) and self._clause.y not in self._bound_vars():
+            free.add(self._clause.y)
+        return frozenset(free)
+
+    def _bound_vars(self) -> set[Var]:
+        return {
+            self._clause.x if side == "x" else self._clause.y
+            for side in self._undo
+        }
+
+    def is_empty(self) -> bool:
+        return self._failed_depth is not None
+
+    def _side_of(self, var: Var) -> str:
+        if is_var(self._clause.x) and var == self._clause.x:
+            return "x"
+        if is_var(self._clause.y) and var == self._clause.y:
+            return "y"
+        raise StructureError(f"{var!r} does not occur in {self._clause!r}")
+
+    # ------------------------------------------------------------------
+    def leap(self, var: Var, lower: int) -> int | None:
+        if self._failed_depth is not None:
+            return None
+        side = self._side_of(var)
+        if side == "x" and self._x_value is not None:
+            raise StructureError(f"{var!r} is already bound")
+        if side == "y" and self._y_value is not None:
+            raise StructureError(f"{var!r} is already bound")
+        if side == "y":
+            if self._x_value is not None:
+                # Descend T_xy: range S[(x-1)K+1 .. (x-1)K+k] (Lemma 2b).
+                return self._knn.leap_forward(self._x_value, self._k, lower)
+            # Root of T_yx: any member with a non-empty reverse range.
+            return self._knn.next_reverse_nonempty(self._k, lower)
+        if self._y_value is not None:
+            # Descend T_yx: range S'[p_y(1) .. p_y(k+1)-1] (Lemma 2c).
+            return self._knn.leap_backward(self._y_value, self._k, lower)
+        # Root of T_xy: every member has k forward neighbors.
+        return self._knn.next_member(lower)
+
+    def bind(self, var: Var, value: int) -> bool:
+        side = self._side_of(var)
+        if self._failed_depth is not None:
+            # Already failed; push a no-op frame to keep unbind symmetric.
+            self._undo.append(side)
+            self._set(side, value)
+            return False
+        other_bound = self._y_value if side == "x" else self._x_value
+        self._set(side, value)
+        self._undo.append(side)
+        ok: bool
+        if other_bound is None:
+            # First side bound: non-emptiness = the range is non-empty.
+            if side == "x":
+                ok = self._knn.forward_count(value, self._k) > 0
+            else:
+                ok = self._knn.backward_count(value, self._k) > 0
+        else:
+            ok = self._knn.contains(
+                self._x_value, self._y_value, self._k  # type: ignore[arg-type]
+            )
+        if not ok:
+            self._failed_depth = len(self._undo)
+        return ok
+
+    def unbind(self, var: Var) -> None:
+        side = self._side_of(var)
+        if not self._undo or self._undo[-1] != side:
+            raise StructureError(f"unbind({var!r}) out of order")
+        self._undo.pop()
+        self._set(side, None)
+        if self._failed_depth is not None and self._failed_depth > len(self._undo):
+            self._failed_depth = None
+
+    def _set(self, side: str, value: int | None) -> None:
+        if side == "x":
+            self._x_value = value
+        else:
+            self._y_value = value
+
+    def estimate(self, var: Var) -> int:
+        """Exact candidate counts from the S/S' ranges (Sec. 5): ``k``
+        when ``x`` is bound, the reverse-range size when ``y`` is bound,
+        the member count when neither is."""
+        side = self._side_of(var)
+        if side == "y":
+            if self._x_value is not None:
+                return self._knn.forward_count(self._x_value, self._k)
+            return self._knn.num_members
+        if self._y_value is not None:
+            return self._knn.backward_count(self._y_value, self._k)
+        return self._knn.num_members
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KnnClauseRelation({self._clause!r})"

@@ -1,0 +1,149 @@
+"""Variable-ordering strategies (Secs. 4 and 5 of the paper).
+
+All strategies are *adaptive*: :meth:`OrderingStrategy.choose` is called
+once per elimination step with the current state, so "after binding the
+first variable x with each value c, the next variable to bind may differ
+on each Q[x -> c]" (Sec. 5).
+
+* :class:`MinCandidatesOrdering` — the plain Ring rule used by
+  **Ring-KNN-S** (Sec. 5.1): minimum ``l_x``, lonely variables last.
+* :class:`ConstraintAwareOrdering` — **Ring-KNN** (Sec. 5.2): variables
+  that are the target of a constraint edge between two unbound variables
+  are marked not-ready; choose the unmarked variable of minimum ``l_x``
+  if any exists, otherwise fall back to the marked ones. This implements
+  the C-minimal rule of Sec. 4.3, since a node is C-minimal exactly when
+  it has no incoming constraint edge among unbound variables.
+* :class:`TopologicalOrdering` — a static topological order of the
+  constraint graph (the wco recipe of Thm. 2 for acyclic constraints).
+* :class:`FixedOrdering` — a user-supplied total order (tests, ablation).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.query.model import Var
+from repro.utils.errors import QueryError
+
+
+@dataclass(frozen=True)
+class OrderingContext:
+    """Snapshot handed to a strategy at each elimination step."""
+
+    unbound: tuple[Var, ...]
+    """Variables still to eliminate, in stable query order."""
+
+    estimates: dict[Var, int]
+    """``l_x`` per unbound variable: min candidate-count over its atoms."""
+
+    lonely: frozenset[Var]
+    """Variables appearing in a single atom (bound last, Sec. 5)."""
+
+    constraint_edges: tuple[tuple[Var, Var], ...]
+    """Edges ``x -> y`` of the *current* constraint graph: one per clause
+    ``x <|_k y`` whose two sides are both unbound variables (distance
+    clauses contribute both directions)."""
+
+
+class OrderingStrategy(abc.ABC):
+    """Strategy deciding the next variable to eliminate."""
+
+    @abc.abstractmethod
+    def choose(self, context: OrderingContext) -> Var:
+        """Pick the next variable among ``context.unbound``."""
+
+    @staticmethod
+    def _min_estimate(candidates: list[Var], context: OrderingContext) -> Var:
+        """Smallest ``l_x``; ties broken by position in ``unbound``."""
+        return min(candidates, key=lambda v: (context.estimates[v],
+                                              context.unbound.index(v)))
+
+
+class MinCandidatesOrdering(OrderingStrategy):
+    """Adaptive min-``l_x`` with lonely variables last (Ring-KNN-S)."""
+
+    def choose(self, context: OrderingContext) -> Var:
+        regular = [v for v in context.unbound if v not in context.lonely]
+        if regular:
+            return self._min_estimate(regular, context)
+        return self._min_estimate(list(context.unbound), context)
+
+
+class ConstraintAwareOrdering(OrderingStrategy):
+    """Ring-KNN: prefer variables without incoming constraint edges.
+
+    Following Sec. 5.2, at each step the targets of the current
+    constraint edges are marked not-ready; the unmarked non-lonely
+    variable of minimum ``l_x`` is chosen if one exists, otherwise the
+    marked non-lonely minimum, with lonely variables still last.
+    """
+
+    def choose(self, context: OrderingContext) -> Var:
+        marked = {y for _x, y in context.constraint_edges}
+        regular = [v for v in context.unbound if v not in context.lonely]
+        pool = regular if regular else list(context.unbound)
+        unmarked = [v for v in pool if v not in marked]
+        if unmarked:
+            return self._min_estimate(unmarked, context)
+        return self._min_estimate(pool, context)
+
+
+class TopologicalOrdering(OrderingStrategy):
+    """Static topological order over the *initial* constraint graph.
+
+    This is the recipe of Thm. 2: on acyclic constraint graphs,
+    eliminating variables in topological order yields wco time. Within a
+    topological "layer" the adaptive min-``l_x`` tie-break is still used;
+    lonely variables go last. Raises on construction if the constraint
+    graph has a cycle.
+    """
+
+    def __init__(self, edges: list[tuple[Var, Var]]) -> None:
+        self._edges = tuple(edges)
+        # Kahn's algorithm to verify acyclicity once.
+        nodes = {v for edge in edges for v in edge}
+        indeg = {v: 0 for v in nodes}
+        for _x, y in edges:
+            indeg[y] += 1
+        frontier = [v for v, d in indeg.items() if d == 0]
+        seen = 0
+        while frontier:
+            node = frontier.pop()
+            seen += 1
+            for x, y in edges:
+                if x == node:
+                    indeg[y] -= 1
+                    if indeg[y] == 0:
+                        frontier.append(y)
+        if seen != len(nodes):
+            raise QueryError(
+                "TopologicalOrdering requires an acyclic constraint graph"
+            )
+
+    def choose(self, context: OrderingContext) -> Var:
+        unbound = set(context.unbound)
+        blocked = {
+            y for x, y in self._edges if x in unbound and y in unbound
+        }
+        regular = [v for v in context.unbound if v not in context.lonely]
+        pool = regular if regular else list(context.unbound)
+        ready = [v for v in pool if v not in blocked]
+        if not ready:  # pragma: no cover - impossible for acyclic graphs
+            ready = pool
+        return self._min_estimate(ready, context)
+
+
+class FixedOrdering(OrderingStrategy):
+    """Eliminate variables in a caller-supplied total order."""
+
+    def __init__(self, order: list[Var] | tuple[Var, ...]) -> None:
+        self._order = tuple(order)
+
+    def choose(self, context: OrderingContext) -> Var:
+        for var in self._order:
+            if var in context.unbound:
+                return var
+        raise QueryError(
+            f"fixed order {self._order!r} does not cover {context.unbound!r}"
+        )

@@ -1,0 +1,58 @@
+"""The relation interface consumed by the LTJ engine.
+
+Every atom of an extended BGP (triple pattern, ``x <|_k y`` clause,
+``dist(x, y) <= d`` clause) is wrapped in a :class:`LeapRelation`. The
+engine only ever calls the five methods below, so adding new atom kinds
+(as Sec. 7 of the paper envisions) means writing one more adapter.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.query.model import Var
+
+
+class LeapRelation(abc.ABC):
+    """Backtrackable adapter exposing leapfrog primitives for one atom."""
+
+    @property
+    @abc.abstractmethod
+    def variables(self) -> frozenset[Var]:
+        """All variables mentioned by the atom."""
+
+    @property
+    @abc.abstractmethod
+    def free_variables(self) -> frozenset[Var]:
+        """Variables not yet bound in this relation."""
+
+    @abc.abstractmethod
+    def leap(self, var: Var, lower: int) -> int | None:
+        """Smallest candidate value ``>= lower`` for ``var``, or ``None``.
+
+        ``var`` must be free. The returned value ``c`` must be admissible
+        for this atom alone: binding ``var := c`` leaves the atom
+        non-empty.
+        """
+
+    @abc.abstractmethod
+    def bind(self, var: Var, value: int) -> bool:
+        """Bind a free variable, returning whether the atom stays
+        non-empty. The state is pushed even when the result is ``False``
+        so that :meth:`unbind` stays symmetric."""
+
+    @abc.abstractmethod
+    def unbind(self, var: Var) -> None:
+        """Undo the most recent :meth:`bind` of ``var``."""
+
+    @abc.abstractmethod
+    def estimate(self, var: Var) -> int:
+        """Upper bound on the number of candidates for ``var`` under the
+        current partial binding — the quantity behind the paper's
+        ``l_x`` (Def. 10 / Sec. 5): triple patterns answer their current
+        range size, similarity clauses their exact range size in
+        ``S``/``S'``."""
+
+    def is_empty(self) -> bool:
+        """Whether the atom admits no completion (default: never)."""
+        return False

@@ -1,0 +1,59 @@
+"""Instrumentation collected during one query evaluation.
+
+The figures of Sec. 6 need more than wall-clock time: the number of
+variable eliminations (the quantity the wco bounds constrain), whether
+the run timed out, and where in the elimination order the first
+similarity-involved variable was bound (the "36% vs 68%" statistic of
+the Q1b discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.model import Var
+
+
+@dataclass
+class EvaluationStats:
+    """Counters filled in by :class:`~repro.ltj.engine.LTJEngine`."""
+
+    solutions: int = 0
+    """Number of solutions enumerated."""
+
+    bindings: int = 0
+    """Successful variable bindings (eliminations) performed."""
+
+    attempts: int = 0
+    """Candidate values produced by leapfrog intersections (>= bindings)."""
+
+    leap_calls: int = 0
+    """Individual ``leap`` calls issued to relations."""
+
+    elapsed: float = 0.0
+    """Wall-clock seconds for the evaluation."""
+
+    timed_out: bool = False
+    """Whether the time budget expired before exhausting the search."""
+
+    first_descent_order: list[Var] = field(default_factory=list)
+    """Variables in the order chosen along the first root-to-leaf branch."""
+
+    sim_variables: frozenset[Var] = frozenset()
+    """Variables involved in similarity or distance clauses."""
+
+    @property
+    def first_sim_bind_fraction(self) -> float | None:
+        """Fraction of variables processed before the first similarity
+        variable is bound, on the first descent (0.0 = bound first).
+
+        ``None`` when the query has no similarity variables or the first
+        descent never reached one.
+        """
+        if not self.sim_variables or not self.first_descent_order:
+            return None
+        total = len(self.first_descent_order)
+        for position, var in enumerate(self.first_descent_order):
+            if var in self.sim_variables:
+                return position / total
+        return None

@@ -1,0 +1,135 @@
+"""Query rewrites, including the Sec. 7 direction-free similarity.
+
+The paper's discussion (Sec. 7) proposes letting the *system* choose the
+direction of a similarity clause: "if the user does not specify the
+direction of a similarity clause and the system can define it as
+``x <|_k y`` or ``y <|_k x``, we can always make the query acyclic and
+solve it in wco time. Query answers may differ slightly depending on
+which order is chosen, so this approach can be seen as a way of
+producing faster, approximate answers."
+
+:func:`orient_clauses` implements that: given undirected similarity
+pairs, it fixes a total order on the variables and orients every pair
+from earlier to later — an orientation along a total order can never
+create a directed cycle, so the resulting constraint graph is acyclic
+and Thm. 2's topological strategy applies. The order can be supplied
+(e.g. by selectivity) or defaults to first-appearance order.
+
+:func:`symmetric_to_directed` applies the same idea to an existing query
+whose symmetric operators were already expanded into 2-cycles: it keeps
+one direction per cycle, turning an exact-but-restricted plan into the
+approximate-but-acyclic one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.model import (
+    DEFAULT_RELATION,
+    ExtendedBGP,
+    SimClause,
+    Term,
+    Var,
+    is_var,
+)
+from repro.utils.errors import QueryError
+
+
+@dataclass(frozen=True)
+class UndirectedSim:
+    """A similarity pair whose direction is left to the optimizer."""
+
+    a: Term
+    k: int
+    b: Term
+    relation: str = DEFAULT_RELATION
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise QueryError("similarity pair requires distinct endpoints")
+
+
+def _position_order(
+    query_vars: tuple[Var, ...], order: list[Var] | None
+) -> dict[Var, int]:
+    if order is None:
+        order = list(query_vars)
+    missing = [v for v in query_vars if v not in order]
+    return {v: i for i, v in enumerate([*order, *missing])}
+
+
+def orient_clauses(
+    triples,
+    pairs: list[UndirectedSim],
+    order: list[Var] | None = None,
+) -> ExtendedBGP:
+    """Build an acyclic extended BGP from direction-free pairs.
+
+    Args:
+        triples: the query's triple patterns.
+        pairs: undirected similarity pairs.
+        order: optional variable priority (earlier = bound first); pairs
+            are oriented from earlier to later, which guarantees an
+            acyclic constraint graph.
+
+    Returns:
+        An :class:`ExtendedBGP` whose constraint graph is acyclic.
+    """
+    probe = ExtendedBGP(list(triples)) if triples else None
+    query_vars: tuple[Var, ...] = probe.variables if probe else ()
+    pair_vars = [
+        v
+        for p in pairs
+        for v in (p.a, p.b)
+        if is_var(v) and v not in query_vars
+    ]
+    positions = _position_order((*query_vars, *dict.fromkeys(pair_vars)), order)
+    clauses: list[SimClause] = []
+    for pair in pairs:
+        a, b = pair.a, pair.b
+        if is_var(a) and is_var(b):
+            if positions[a] > positions[b]:
+                a, b = b, a
+        elif is_var(a) and not is_var(b):
+            # Constant side first keeps the clause trivially acyclic and
+            # bounds the variable by k.
+            a, b = pair.b, pair.a
+        clauses.append(SimClause(a, pair.k, b, pair.relation))
+    return ExtendedBGP(list(triples), clauses)
+
+
+def symmetric_to_directed(
+    query: ExtendedBGP, order: list[Var] | None = None
+) -> ExtendedBGP:
+    """Replace every 2-cycle ``{x <|_k y, y <|_k x}`` by one direction.
+
+    The kept direction follows the supplied (or first-appearance)
+    variable order, so the result's constraint graph loses all 2-cycles
+    created by symmetric operators. Other clauses are untouched. The
+    rewritten query generally returns a *superset* of the symmetric
+    query's answers (one of the two conditions is dropped) — the Sec. 7
+    approximate semantics.
+    """
+    positions = _position_order(query.variables, order)
+    kept: list[SimClause] = []
+    dropped: set[SimClause] = set()
+    clause_set = set(query.clauses)
+    for clause in query.clauses:
+        if clause in dropped:
+            continue
+        mirror = None
+        if is_var(clause.x) and is_var(clause.y):
+            mirror = SimClause(clause.y, clause.k, clause.x, clause.relation)
+        if mirror is not None and mirror in clause_set and mirror != clause:
+            x, y = clause.x, clause.y
+            if positions[x] > positions[y]:
+                x, y = y, x
+            kept.append(SimClause(x, clause.k, y, clause.relation))
+            dropped.add(mirror)
+            dropped.add(clause)
+        else:
+            kept.append(clause)
+    return ExtendedBGP(
+        list(query.triples), kept, list(query.dist_clauses)
+    )

@@ -1,0 +1,19 @@
+"""The Ring index (Arroyuelo et al., SIGMOD 2021; Sec. 2.4 of the paper).
+
+The Ring stores a graph's triples as three wavelet-tree columns —
+``C_S`` (subjects, rows of ``T_POS``), ``C_P`` (predicates, rows of
+``T_OSP``), ``C_O`` (objects, rows of ``T_SPO``) — plus the cumulative
+arrays ``A_S``, ``A_P``, ``A_O``. Because the coordinates form the cycle
+``s -> p -> o -> s``, *every* subset of bound coordinates of a triple
+pattern is a contiguous arc of the cycle and therefore corresponds to a
+row range of one of the three tables; binding one more coordinate is a
+single backward-search step, and ``leap`` is ``range_next_value`` on a
+column (possibly through the select-and-locate trick for the coordinate
+two hops ahead of the arc). This simulates all 3! = 6 trie orders LTJ
+requires in ``3N log D (1 + o(1))`` bits.
+"""
+
+from repro.ring.index import RingIndex
+from repro.ring.pattern import RingPatternState
+
+__all__ = ["RingIndex", "RingPatternState"]

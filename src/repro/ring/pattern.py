@@ -1,0 +1,173 @@
+"""Per-triple-pattern navigation state over the Ring.
+
+During LTJ every triple pattern tracks which of its coordinates are bound
+(to query constants or to already-eliminated variables) and the row range
+of the corresponding arc (Sec. 2.4: "each triple pattern of Q is
+associated with some range C_j[b..e]"). :class:`RingPatternState`
+maintains that state with a stack so the engine can backtrack, and
+answers:
+
+* ``leap(coord, lower)`` — smallest value ``>= lower`` the coordinate can
+  take among the triples still matching the pattern;
+* ``bind(coord, value)`` / ``unbind()`` — descend/ascend in the virtual
+  trie;
+* ``count()`` — number of matching triples (the range size, used both
+  for emptiness tests and for the ``l_x`` ordering estimates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ring.index import NEXT_COORD, PREV_COORD, RingIndex
+from repro.utils.errors import StructureError
+
+
+@dataclass(frozen=True)
+class _Frame:
+    """One level of the virtual-trie descent.
+
+    ``bound`` maps coordinate letters to values. For 1- and 2-arcs,
+    ``arc_first``/``lo``/``hi`` describe the row range; for the empty
+    binding they are ``None``/full; for a fully bound pattern ``matches``
+    caches the number of matching triples.
+    """
+
+    bound: tuple[tuple[str, int], ...]
+    arc_first: str | None
+    lo: int
+    hi: int
+    matches: int
+
+
+class RingPatternState:
+    """Backtrackable binding state of one triple pattern over a Ring."""
+
+    def __init__(self, ring: RingIndex, constants: dict[str, int]) -> None:
+        """Start with the pattern's constants already bound.
+
+        Args:
+            ring: the index.
+            constants: coordinate -> constant for the pattern's constant
+                positions (e.g. ``{"p": 5}`` for ``(?x, 5, ?y)``).
+        """
+        self._ring = ring
+        root = _Frame(
+            bound=(), arc_first=None, lo=0, hi=ring.num_edges - 1,
+            matches=ring.num_edges,
+        )
+        self._stack: list[_Frame] = [root]
+        # Constants descend in a canonical order; correctness does not
+        # depend on the order because every bound subset is an arc.
+        for coord in "spo":
+            if coord in constants:
+                self.bind(coord, constants[coord])
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def frame(self) -> _Frame:
+        return self._stack[-1]
+
+    @property
+    def bound_coords(self) -> frozenset[str]:
+        return frozenset(coord for coord, _v in self.frame.bound)
+
+    def count(self) -> int:
+        """Number of triples matching the current partial binding."""
+        return self.frame.matches
+
+    def is_empty(self) -> bool:
+        return self.frame.matches == 0
+
+    def depth(self) -> int:
+        """Number of bound coordinates."""
+        return len(self.frame.bound)
+
+    # ------------------------------------------------------------------
+    # descent / ascent
+    # ------------------------------------------------------------------
+    def bind(self, coord: str, value: int) -> None:
+        """Bind one coordinate and push the refined state."""
+        frame = self.frame
+        bound = dict(frame.bound)
+        if coord in bound:
+            raise StructureError(f"coordinate {coord!r} already bound")
+        bound[coord] = value
+        new_bound = tuple(sorted(bound.items()))
+        ring = self._ring
+        if len(bound) == 1:
+            lo, hi = ring.block_range(coord, value)
+            self._stack.append(
+                _Frame(new_bound, coord, lo, hi, max(0, hi - lo + 1))
+            )
+            return
+        if len(bound) == 2:
+            first = ring.arc_start(frozenset(bound))
+            second = NEXT_COORD[first]
+            lo, hi = ring.pair_range(first, bound[first], bound[second])
+            self._stack.append(
+                _Frame(new_bound, first, lo, hi, max(0, hi - lo + 1))
+            )
+            return
+        if len(bound) == 3:
+            if frame.arc_first is None:  # pragma: no cover - defensive
+                raise StructureError("cannot bind third coord without a 2-arc")
+            matches = ring.triple_count(
+                frame.arc_first, frame.lo, frame.hi, value
+            )
+            self._stack.append(
+                _Frame(new_bound, frame.arc_first, frame.lo, frame.hi, matches)
+            )
+            return
+        raise StructureError("triple pattern has only three coordinates")
+
+    def unbind(self) -> None:
+        """Pop the most recent bind (backtracking)."""
+        if len(self._stack) <= 1:
+            raise StructureError("unbind on root state")
+        self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # leap
+    # ------------------------------------------------------------------
+    def leap(self, coord: str, lower: int) -> int | None:
+        """Smallest value ``>= lower`` for an unbound ``coord``, or None.
+
+        Dispatches to the Ring primitive matching the coordinate's
+        position relative to the current arc (Sec. 2.4 / DESIGN.md).
+        """
+        frame = self.frame
+        bound = dict(frame.bound)
+        if coord in bound:
+            raise StructureError(f"leap on bound coordinate {coord!r}")
+        if frame.matches == 0:
+            return None
+        ring = self._ring
+        if not bound:
+            return ring.leap_unbound(coord, lower)
+        if len(bound) == 1:
+            (f, value), = bound.items()
+            if coord == PREV_COORD[f]:
+                return ring.leap_stored(f, frame.lo, frame.hi, lower)
+            if coord == NEXT_COORD[f]:
+                return ring.leap_ahead(f, value, lower)
+            raise StructureError(  # pragma: no cover - cycle covers all
+                f"coordinate {coord!r} unrelated to arc at {f!r}"
+            )
+        # Two bound coordinates: the free one is the arc's stored column.
+        assert frame.arc_first is not None
+        if coord != PREV_COORD[frame.arc_first]:  # pragma: no cover
+            raise StructureError("free coordinate inconsistent with 2-arc")
+        return ring.leap_stored(frame.arc_first, frame.lo, frame.hi, lower)
+
+    def probe(self, assignments: dict[str, int]) -> bool:
+        """Check non-emptiness if the given coords were bound (no state
+        change). Used for variables occupying several coordinates."""
+        for coord, value in assignments.items():
+            self.bind(coord, value)
+        nonempty = not self.is_empty()
+        for _ in assignments:
+            self.unbind()
+        return nonempty

@@ -1,0 +1,15 @@
+"""Succinct data structures: bitvectors, cumulative counts, wavelet trees.
+
+These are Python/numpy equivalents of the SDSL structures used by the
+paper's C++ implementation (Sec. 5): ``bit_vector`` + ``select_support_mcl``
+becomes :class:`BitVector`, and the wavelet trees over the Ring columns and
+the K-NN sequences become :class:`WaveletTree`. The operation set follows
+Sec. 2.3 of the paper: ``rank``, ``select``, ``access``,
+``range_next_value`` and distinct-symbol counting.
+"""
+
+from repro.succinct.arrays import CumulativeCounts
+from repro.succinct.bitvector import BitVector
+from repro.succinct.wavelet_tree import WaveletTree
+
+__all__ = ["BitVector", "CumulativeCounts", "WaveletTree"]

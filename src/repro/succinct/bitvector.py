@@ -1,0 +1,177 @@
+"""Static bitvector with O(1) rank and near-O(1) select.
+
+The representation mirrors SDSL's plain ``bit_vector`` with rank/select
+supports (the structures the paper's implementation uses, Sec. 5): bits
+are packed into 64-bit words, and cumulative popcounts per word give
+``rank`` in constant time and ``select`` by binary search over the
+cumulative array plus an in-word bit scan. Total overhead is ~2 bits per
+bit — keeping the whole index within a small constant of the
+information-theoretic size, which the space experiment (Sec. 6.2)
+depends on.
+
+Conventions (0-based, half-open):
+
+* ``rank1(i)``  = number of set bits among positions ``[0, i)``.
+* ``select1(j)`` = position of the ``j``-th set bit, ``j`` in ``[1, ones]``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.utils.errors import StructureError, ValidationError
+
+_FULL_WORD = (1 << 64) - 1
+
+
+def _select_in_word(word: int, need: int) -> int:
+    """0-based position of the ``need``-th (1-based) set bit of ``word``."""
+    offset = 0
+    while True:
+        byte = word & 0xFF
+        count = byte.bit_count()
+        if need <= count:
+            for bit in range(8):
+                if (byte >> bit) & 1:
+                    need -= 1
+                    if need == 0:
+                        return offset + bit
+        need -= count
+        word >>= 8
+        offset += 8
+
+
+class BitVector:
+    """Immutable bit sequence supporting access, rank and select."""
+
+    def __init__(self, bits: Iterable[int] | np.ndarray) -> None:
+        arr = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
+        if arr.ndim != 1:
+            raise ValidationError("bits must be one-dimensional")
+        arr = arr.astype(np.uint8)
+        if arr.size and arr.max() > 1:
+            raise ValidationError("bits must contain only 0s and 1s")
+        self._n = int(arr.size)
+        n_words = (self._n + 63) // 64
+        padded = np.zeros(n_words * 64, dtype=np.uint8)
+        padded[: self._n] = arr
+        words = padded.reshape(n_words, 64)
+        weights = np.uint64(1) << np.arange(64, dtype=np.uint64)
+        self._words = (words.astype(np.uint64) * weights).sum(
+            axis=1, dtype=np.uint64
+        )
+        per_word = words.sum(axis=1, dtype=np.int64)
+        # _cum1[w] = set bits before word w; _cum0 analogous for clear
+        # bits (padding past n is excluded).
+        self._cum1 = np.concatenate(([0], np.cumsum(per_word)))
+        boundaries = np.minimum(
+            64 * np.arange(n_words + 1, dtype=np.int64), self._n
+        )
+        self._cum0 = boundaries - self._cum1
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._n):
+            yield self.access(i)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = "".join(str(self.access(i)) for i in range(min(self._n, 32)))
+        suffix = "..." if self._n > 32 else ""
+        return f"BitVector({head}{suffix}, n={self._n})"
+
+    @property
+    def n_ones(self) -> int:
+        """Total number of set bits."""
+        return int(self._cum1[-1])
+
+    @property
+    def n_zeros(self) -> int:
+        """Total number of clear bits."""
+        return self._n - self.n_ones
+
+    def size_in_bytes(self) -> int:
+        """Bytes used by the underlying numpy buffers."""
+        return self._words.nbytes + self._cum1.nbytes + self._cum0.nbytes
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def access(self, i: int) -> int:
+        """Return bit ``i``."""
+        if not 0 <= i < self._n:
+            raise ValidationError(f"access index {i} out of range [0, {self._n})")
+        return int((int(self._words[i >> 6]) >> (i & 63)) & 1)
+
+    def rank1(self, i: int) -> int:
+        """Number of 1-bits in positions ``[0, i)``; ``i`` in ``[0, n]``."""
+        if not 0 <= i <= self._n:
+            raise ValidationError(f"rank index {i} out of range [0, {self._n}]")
+        w = i >> 6
+        rem = i & 63
+        partial = 0
+        if rem:
+            mask = (1 << rem) - 1
+            partial = (int(self._words[w]) & mask).bit_count()
+        return int(self._cum1[w]) + partial
+
+    def rank0(self, i: int) -> int:
+        """Number of 0-bits in positions ``[0, i)``."""
+        return i - self.rank1(i)
+
+    def select1(self, j: int) -> int:
+        """Position of the ``j``-th 1-bit (``j`` counted from 1)."""
+        if not 1 <= j <= self.n_ones:
+            raise StructureError(
+                f"select1({j}) out of range: vector has {self.n_ones} ones"
+            )
+        # First word whose cumulative count reaches j.
+        w = int(np.searchsorted(self._cum1, j, side="left")) - 1
+        need = j - int(self._cum1[w])
+        return 64 * w + _select_in_word(int(self._words[w]), need)
+
+    def select0(self, j: int) -> int:
+        """Position of the ``j``-th 0-bit (``j`` counted from 1)."""
+        if not 1 <= j <= self.n_zeros:
+            raise StructureError(
+                f"select0({j}) out of range: vector has {self.n_zeros} zeros"
+            )
+        w = int(np.searchsorted(self._cum0, j, side="left")) - 1
+        need = j - int(self._cum0[w])
+        valid = min(64, self._n - 64 * w)
+        inverted = ~int(self._words[w]) & ((1 << valid) - 1)
+        return 64 * w + _select_in_word(inverted, need)
+
+    # ------------------------------------------------------------------
+    # derived conveniences
+    # ------------------------------------------------------------------
+    def next_one(self, i: int) -> int | None:
+        """Position of the first 1-bit at position >= ``i``, or ``None``."""
+        if i >= self._n:
+            return None
+        r = self.rank1(max(i, 0))
+        if r + 1 > self.n_ones:
+            return None
+        return self.select1(r + 1)
+
+    def rank1_range(self, lo: int, hi: int) -> int:
+        """Number of 1-bits in the closed range ``[lo, hi]``."""
+        if lo > hi:
+            return 0
+        return self.rank1(hi + 1) - self.rank1(lo)
+
+    def to_array(self) -> np.ndarray:
+        """Materialize the bits as a ``uint8`` numpy array (testing aid)."""
+        if not self._n:
+            return np.empty(0, dtype=np.uint8)
+        weights = np.uint64(1) << np.arange(64, dtype=np.uint64)
+        expanded = (
+            (self._words[:, None] & weights[None, :]) > 0
+        ).astype(np.uint8)
+        return expanded.reshape(-1)[: self._n]

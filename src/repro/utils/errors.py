@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base class for all
+library-originated failures while letting genuine bugs (``TypeError``,
+``IndexError`` from internal misuse) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class StructureError(ReproError):
+    """A succinct data structure was built or queried inconsistently."""
+
+
+class QueryError(ReproError):
+    """An extended BGP is malformed or unsupported by the chosen engine."""
+
+
+class ValidationError(ReproError):
+    """An argument failed validation (bad range, negative size, ...)."""
+
+
+class TimeoutExceeded(ReproError):
+    """Query evaluation exceeded its time budget.
+
+    Attributes:
+        elapsed: seconds spent before the engine gave up.
+        partial_count: number of solutions produced before the timeout.
+    """
+
+    def __init__(self, elapsed: float, partial_count: int = 0) -> None:
+        super().__init__(
+            f"query evaluation timed out after {elapsed:.3f}s "
+            f"({partial_count} solutions produced)"
+        )
+        self.elapsed = elapsed
+        self.partial_count = partial_count

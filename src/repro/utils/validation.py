@@ -1,0 +1,48 @@
+"""Small argument-validation helpers shared across the package.
+
+They raise :class:`~repro.utils.errors.ValidationError` with uniform
+messages, keeping the data-structure code free of repetitive checks.
+"""
+
+from __future__ import annotations
+
+from repro.utils.errors import ValidationError
+
+
+def check_positive(name: str, value: int) -> int:
+    """Require ``value`` to be a positive integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonnegative(name: str, value: int) -> int:
+    """Require ``value`` to be a non-negative integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_index(name: str, value: int, size: int) -> int:
+    """Require ``0 <= value < size`` (0-based index) and return ``value``."""
+    check_nonnegative(name, value)
+    if value >= size:
+        raise ValidationError(f"{name}={value} out of range [0, {size})")
+    return value
+
+
+def check_range(name: str, lo: int, hi: int, size: int) -> tuple[int, int]:
+    """Validate a closed 0-based range ``[lo, hi]`` within ``[0, size)``.
+
+    An empty range (``lo > hi``) is allowed and returned as-is; many callers
+    treat it as "no candidates".
+    """
+    if lo > hi:
+        return lo, hi
+    if lo < 0 or hi >= size:
+        raise ValidationError(f"{name}=[{lo}, {hi}] out of bounds [0, {size})")
+    return lo, hi

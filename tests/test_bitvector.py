@@ -1,0 +1,161 @@
+"""Unit and property tests for the rank/select bitvector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.succinct.bitvector import BitVector
+from repro.utils.errors import StructureError, ValidationError
+
+
+class TestBasics:
+    def test_length_and_access(self):
+        bv = BitVector([1, 0, 1, 1, 0])
+        assert len(bv) == 5
+        assert [bv.access(i) for i in range(5)] == [1, 0, 1, 1, 0]
+
+    def test_iteration_matches_access(self):
+        bits = [0, 1, 1, 0, 1, 0, 0, 1]
+        bv = BitVector(bits)
+        assert list(bv) == bits
+
+    def test_counts(self):
+        bv = BitVector([1, 0, 1, 1, 0])
+        assert bv.n_ones == 3
+        assert bv.n_zeros == 2
+
+    def test_empty_vector(self):
+        bv = BitVector([])
+        assert len(bv) == 0
+        assert bv.n_ones == 0
+        assert bv.rank1(0) == 0
+        assert bv.next_one(0) is None
+
+    def test_all_ones(self):
+        bv = BitVector([1] * 100)
+        assert bv.rank1(100) == 100
+        assert bv.select1(100) == 99
+        assert bv.rank0(100) == 0
+
+    def test_all_zeros(self):
+        bv = BitVector([0] * 100)
+        assert bv.rank1(100) == 0
+        assert bv.select0(1) == 0
+        assert bv.next_one(0) is None
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValidationError):
+            BitVector([0, 2, 1])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValidationError):
+            BitVector(np.zeros((2, 2)))
+
+    def test_to_array_roundtrip(self):
+        bits = np.array([1, 0, 0, 1, 1, 0, 1], dtype=np.uint8)
+        assert np.array_equal(BitVector(bits).to_array(), bits)
+
+    def test_size_in_bytes_positive(self):
+        assert BitVector([1, 0, 1]).size_in_bytes() > 0
+
+
+class TestRank:
+    def test_rank1_prefixes(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        bv = BitVector(bits)
+        for i in range(len(bits) + 1):
+            assert bv.rank1(i) == sum(bits[:i])
+
+    def test_rank0_complements_rank1(self):
+        bv = BitVector([1, 0, 1, 1, 0, 0, 1])
+        for i in range(8):
+            assert bv.rank0(i) + bv.rank1(i) == i
+
+    def test_rank_across_word_boundary(self):
+        bits = [1] * 63 + [0] + [1] * 63 + [0, 1]
+        bv = BitVector(bits)
+        assert bv.rank1(63) == 63
+        assert bv.rank1(64) == 63
+        assert bv.rank1(127) == 126
+        assert bv.rank1(129) == 127
+
+    def test_rank_out_of_range(self):
+        bv = BitVector([1, 0])
+        with pytest.raises(ValidationError):
+            bv.rank1(3)
+        with pytest.raises(ValidationError):
+            bv.rank1(-1)
+
+    def test_rank1_range_closed(self):
+        bv = BitVector([1, 0, 1, 1, 0])
+        assert bv.rank1_range(0, 4) == 3
+        assert bv.rank1_range(1, 1) == 0
+        assert bv.rank1_range(2, 3) == 2
+        assert bv.rank1_range(3, 2) == 0  # empty range
+
+
+class TestSelect:
+    def test_select1_positions(self):
+        bv = BitVector([0, 1, 0, 1, 1])
+        assert bv.select1(1) == 1
+        assert bv.select1(2) == 3
+        assert bv.select1(3) == 4
+
+    def test_select0_positions(self):
+        bv = BitVector([0, 1, 0, 1, 1])
+        assert bv.select0(1) == 0
+        assert bv.select0(2) == 2
+
+    def test_select_out_of_range(self):
+        bv = BitVector([0, 1])
+        with pytest.raises(StructureError):
+            bv.select1(2)
+        with pytest.raises(StructureError):
+            bv.select1(0)
+        with pytest.raises(StructureError):
+            bv.select0(2)
+
+    def test_rank_select_inverse(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 500)
+        bv = BitVector(bits)
+        for j in range(1, bv.n_ones + 1):
+            assert bv.rank1(bv.select1(j)) == j - 1
+            assert bv.access(bv.select1(j)) == 1
+
+
+class TestNextOne:
+    def test_next_one_finds_forward(self):
+        bv = BitVector([0, 0, 1, 0, 1])
+        assert bv.next_one(0) == 2
+        assert bv.next_one(2) == 2
+        assert bv.next_one(3) == 4
+        assert bv.next_one(5) is None
+
+    def test_next_one_negative_start_clamped(self):
+        bv = BitVector([0, 1])
+        assert bv.next_one(-5) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=300))
+def test_rank_matches_reference(bits):
+    bv = BitVector(bits)
+    prefix = 0
+    for i, b in enumerate(bits):
+        assert bv.rank1(i) == prefix
+        prefix += b
+    assert bv.rank1(len(bits)) == prefix
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=300))
+def test_select_matches_reference(bits):
+    bv = BitVector(bits)
+    ones = [i for i, b in enumerate(bits) if b]
+    zeros = [i for i, b in enumerate(bits) if not b]
+    for j, pos in enumerate(ones, start=1):
+        assert bv.select1(j) == pos
+    for j, pos in enumerate(zeros, start=1):
+        assert bv.select0(j) == pos

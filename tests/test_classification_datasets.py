@@ -1,0 +1,84 @@
+"""Tests for the Anuran/DryBean analogue datasets (Fig. 3 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.classification import (
+    ANURAN_CLASS_SIZES,
+    DRYBEAN_CLASS_SIZES,
+    make_anuran_like,
+    make_drybean_like,
+    make_gaussian_mixture,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestGaussianMixture:
+    def test_shapes_and_labels(self):
+        points, labels = make_gaussian_mixture((10, 20, 5), dim=4, seed=0)
+        assert points.shape == (35, 4)
+        assert labels.shape == (35,)
+        assert np.bincount(labels).tolist() == [10, 20, 5]
+
+    def test_deterministic(self):
+        a = make_gaussian_mixture((5, 5), dim=3, seed=7)
+        b = make_gaussian_mixture((5, 5), dim=3, seed=7)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_normalization(self):
+        points, _ = make_gaussian_mixture(
+            (50, 50), dim=3, seed=1, normalize=True
+        )
+        assert points.min() >= 0.0
+        assert points.max() <= 1.0
+
+    def test_classes_are_separable_ish(self):
+        """Centers are spread; nearest-centroid accuracy should be high
+        for the experiment to be meaningful."""
+        points, labels = make_gaussian_mixture(
+            (100, 100, 100), dim=8, seed=2, center_scale=3.0
+        )
+        centroids = np.stack(
+            [points[labels == c].mean(axis=0) for c in range(3)]
+        )
+        d = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        acc = (d.argmin(axis=1) == labels).mean()
+        assert acc > 0.9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            make_gaussian_mixture((), dim=3)
+        with pytest.raises(ValidationError):
+            make_gaussian_mixture((0, 5), dim=3)
+        with pytest.raises(ValidationError):
+            make_gaussian_mixture((5,), dim=0)
+
+
+class TestNamedDatasets:
+    def test_anuran_profile(self):
+        points, labels = make_anuran_like(scale=0.05)
+        assert points.shape[1] == 22
+        assert len(np.unique(labels)) == 10
+        # Unbalanced: largest class much larger than smallest.
+        counts = np.bincount(labels)
+        assert counts.max() > 5 * counts.min()
+
+    def test_anuran_full_size(self):
+        sizes = ANURAN_CLASS_SIZES
+        assert sum(sizes) == 7195 and len(sizes) == 10
+
+    def test_drybean_profile(self):
+        points, labels = make_drybean_like(scale=0.05)
+        assert points.shape[1] == 16
+        assert len(np.unique(labels)) == 7
+        assert points.min() >= 0.0 and points.max() <= 1.0
+
+    def test_drybean_full_size(self):
+        assert sum(DRYBEAN_CLASS_SIZES) == 13611 and len(DRYBEAN_CLASS_SIZES) == 7
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValidationError):
+            make_anuran_like(scale=0.0)
+        with pytest.raises(ValidationError):
+            make_anuran_like(scale=1.5)

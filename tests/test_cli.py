@@ -1,0 +1,173 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def bundle_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "bench.npz"
+    code = main(
+        [
+            "generate",
+            "--out",
+            str(path),
+            "--entities",
+            "60",
+            "--images",
+            "30",
+            "--misc-triples",
+            "200",
+            "--K",
+            "5",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_bundle_created(self, bundle_path, capsys):
+        assert bundle_path.exists()
+
+    def test_bundle_loads(self, bundle_path):
+        from repro.graph.io import load_bundle
+
+        graph, knn, points = load_bundle(bundle_path)
+        assert graph.num_edges > 0
+        assert knn is not None and knn.K == 5
+        assert points is not None
+
+
+class TestQuery:
+    def test_query_runs(self, bundle_path, capsys):
+        code = main(
+            [
+                "query",
+                "--data",
+                str(bundle_path),
+                "--query",
+                "(?e, 0, ?img) . knn(?img, ?other, 3)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solutions in" in out
+        assert "ring-knn" in out
+
+    @pytest.mark.parametrize(
+        "engine", ["ring-knn", "ring-knn-s", "baseline", "sixperm-knn"]
+    )
+    def test_all_engines_selectable(self, bundle_path, engine, capsys):
+        code = main(
+            [
+                "query",
+                "--data",
+                str(bundle_path),
+                "--query",
+                "(?e, 0, ?img) . knn(?img, ?other, 2)",
+                "--engine",
+                engine,
+                "--print-limit",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert engine in capsys.readouterr().out
+
+    def test_limit_flag(self, bundle_path, capsys):
+        code = main(
+            [
+                "query",
+                "--data",
+                str(bundle_path),
+                "--query",
+                "(?e, 0, ?img)",
+                "--limit",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "2 solutions" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explain_prints_plan(self, bundle_path, capsys):
+        code = main(
+            [
+                "explain",
+                "--data",
+                str(bundle_path),
+                "--query",
+                "(?e, 0, ?img) . sim(?img, ?other, 3)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "single-2-cyclic" in out
+        assert "plan for" in out
+
+
+class TestExperimentCommands:
+    def test_figure3_table(self, capsys):
+        code = main(
+            ["figure3", "--dataset", "anuran", "--scale", "0.01", "--K", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Precision@k" in out
+        assert "intersection" in out
+
+    def test_space_table(self, capsys):
+        code = main(
+            [
+                "space",
+                "--entities",
+                "60",
+                "--images",
+                "30",
+                "--misc-triples",
+                "200",
+                "--K",
+                "5",
+            ]
+        )
+        assert code == 0
+        assert "ring" in capsys.readouterr().out
+
+    def test_figure2_small(self, capsys):
+        code = main(
+            [
+                "figure2",
+                "--entities",
+                "60",
+                "--images",
+                "30",
+                "--misc-triples",
+                "200",
+                "--K",
+                "5",
+                "--k",
+                "3",
+                "--queries",
+                "1",
+                "--timeout",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Q1" in out and "ring-knn" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--data", "x", "--query", "y", "--engine", "magic"]
+            )

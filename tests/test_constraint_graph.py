@@ -1,0 +1,142 @@
+"""Tests for constraint-graph analysis (Defs. 9, 11, 12)."""
+
+from repro.bounds.constraint_graph import ConstraintGraph
+from repro.query.model import ExtendedBGP, SimClause, TriplePattern, Var
+from repro.query.parser import parse_query
+
+X, Y, Z, W = Var("x"), Var("y"), Var("z"), Var("w")
+
+
+def q(text):
+    return parse_query(text)
+
+
+class TestAcyclicity:
+    def test_no_clauses_is_acyclic(self):
+        g = ConstraintGraph(q("(?x, 1, ?y)"))
+        assert g.is_acyclic()
+        assert g.is_single_2_cyclic()
+
+    def test_chain_is_acyclic(self):
+        g = ConstraintGraph(
+            q("(?x,1,?y).(?y,1,?z) . knn(?x, ?y, 2) . knn(?y, ?z, 2)")
+        )
+        assert g.is_acyclic()
+        assert g.cyclic_constraints() == ()
+
+    def test_two_cycle_detected(self):
+        g = ConstraintGraph(q("(?x,1,?y) . sim(?x, ?y, 2)"))
+        assert not g.is_acyclic()
+        assert len(g.cyclic_constraints()) == 2
+
+    def test_three_cycle_detected(self):
+        g = ConstraintGraph(
+            q("(?x,1,?y).(?y,1,?z) . knn(?x,?y,2) . knn(?y,?z,2) . knn(?z,?x,2)")
+        )
+        assert not g.is_acyclic()
+        assert len(g.cyclic_constraints()) == 3
+
+    def test_constant_clauses_never_cyclic(self):
+        g = ConstraintGraph(q("(?x,1,?y) . knn(5, ?x, 2) . knn(?x, 6, 2)"))
+        assert g.is_acyclic()
+
+
+class TestSingle2Cyclic:
+    def test_symmetric_pair_qualifies(self):
+        g = ConstraintGraph(q("(?x,1,?y) . sim(?x, ?y, 2)"))
+        assert g.is_single_2_cyclic()
+
+    def test_extra_outgoing_edge_disqualifies(self):
+        # Def. 12 forbids x <|_k z with z outside the 2-cycle.
+        g = ConstraintGraph(
+            q("(?x,1,?y).(?y,1,?z) . sim(?x, ?y, 2) . knn(?x, ?z, 2)")
+        )
+        assert not g.is_single_2_cyclic()
+
+    def test_incoming_edge_to_cycle_allowed(self):
+        # z <|_k x points INTO the cycle: still single 2-cyclic.
+        g = ConstraintGraph(
+            q("(?x,1,?y).(?y,1,?z) . sim(?x, ?y, 2) . knn(?z, ?x, 2)")
+        )
+        assert g.is_single_2_cyclic()
+
+    def test_three_cycle_disqualifies(self):
+        g = ConstraintGraph(
+            q("(?x,1,?y).(?y,1,?z) . knn(?x,?y,2) . knn(?y,?z,2) . knn(?z,?x,2)")
+        )
+        assert not g.is_single_2_cyclic()
+
+    def test_two_separate_2_cycles_disqualify(self):
+        g = ConstraintGraph(
+            q("(?x,1,?y).(?z,1,?w) . sim(?x, ?y, 2) . sim(?z, ?w, 2)")
+        )
+        assert not g.is_single_2_cyclic()
+
+
+class TestOrderHelpers:
+    def test_topological_order(self):
+        g = ConstraintGraph(
+            q("(?x,1,?y).(?y,1,?z) . knn(?x, ?y, 2) . knn(?y, ?z, 2)")
+        )
+        order = g.topological_order()
+        assert order.index(X) < order.index(Y) < order.index(Z)
+
+    def test_topological_order_raises_on_cycle(self):
+        import pytest
+
+        g = ConstraintGraph(q("(?x,1,?y) . sim(?x, ?y, 2)"))
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_minimal_variables_no_incoming(self):
+        g = ConstraintGraph(
+            q("(?x,1,?y).(?y,1,?z) . knn(?x, ?y, 2) . knn(?y, ?z, 2)")
+        )
+        assert set(g.minimal_variables()) == {X}
+        # After x is bound, y becomes minimal.
+        assert set(g.minimal_variables({Y, Z})) == {Y}
+
+    def test_minimal_variables_cycle_has_none_among_pair(self):
+        g = ConstraintGraph(q("(?x,1,?y) . sim(?x, ?y, 2)"))
+        assert set(g.minimal_variables({X, Y})) == set()
+
+    def test_scc_ids(self):
+        g = ConstraintGraph(q("(?x,1,?y).(?y,1,?z) . sim(?x, ?y, 2) . knn(?y, ?z, 2)"))
+        assert g.scc_id(X) == g.scc_id(Y)
+        assert g.scc_id(Z) != g.scc_id(X)
+
+
+class TestAgainstNetworkx:
+    """Cross-check SCCs with networkx on random graphs."""
+
+    def test_random_constraint_graphs(self):
+        import networkx as nx
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        variables = [Var(f"v{i}") for i in range(8)]
+        for trial in range(25):
+            edges = set()
+            for _ in range(int(rng.integers(1, 12))):
+                a, b = rng.integers(0, 8, 2)
+                if a != b:
+                    edges.add((int(a), int(b)))
+            triples = [TriplePattern(v, 0, variables[(i + 1) % 8]) for i, v in enumerate(variables)]
+            clauses = [
+                SimClause(variables[a], 2, variables[b]) for a, b in edges
+            ]
+            query = ExtendedBGP(triples, clauses)
+            cg = ConstraintGraph(query)
+            nxg = nx.DiGraph()
+            nxg.add_nodes_from(range(8))
+            nxg.add_edges_from(edges)
+            nx_scc = {
+                node: i
+                for i, comp in enumerate(nx.strongly_connected_components(nxg))
+                for node in comp
+            }
+            for a, b in edges:
+                same_ours = cg.scc_id(variables[a]) == cg.scc_id(variables[b])
+                same_nx = nx_scc[a] == nx_scc[b]
+                assert same_ours == same_nx, (trial, a, b)
+            assert cg.is_acyclic() == nx.is_directed_acyclic_graph(nxg)

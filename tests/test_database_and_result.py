@@ -1,0 +1,99 @@
+"""Tests for GraphDatabase plumbing, QueryResult, and EvaluationStats."""
+
+import pytest
+
+from repro.engines.database import GraphDatabase
+from repro.engines.result import QueryResult
+from repro.ltj.stats import EvaluationStats
+from repro.query.model import Var
+from repro.query.parser import parse_query
+from repro.utils.errors import QueryError
+
+
+class TestGraphDatabase:
+    def test_adjacency_is_lazy_and_cached(self, small_graph, small_knn):
+        db = GraphDatabase(small_graph, small_knn)
+        assert db._adjacency == {}
+        first = db.adjacency
+        assert db.adjacency is first
+
+    def test_adjacency_without_knn_raises(self, small_graph):
+        db = GraphDatabase(small_graph)
+        with pytest.raises(QueryError):
+            _ = db.adjacency
+
+    def test_validate_rejects_k_beyond_K(self, small_db):
+        with pytest.raises(QueryError, match="construction-time"):
+            small_db.validate_query(
+                parse_query("(?x, 20, ?y) . knn(?x, ?y, 99)")
+            )
+
+    def test_validate_rejects_missing_knn(self, small_graph):
+        db = GraphDatabase(small_graph)
+        with pytest.raises(QueryError, match="no such K-NN"):
+            db.validate_query(parse_query("(?x, 20, ?y) . knn(?x, ?y, 2)"))
+
+    def test_validate_rejects_missing_distance_index(self, small_db):
+        with pytest.raises(QueryError, match="distance-range"):
+            small_db.validate_query(
+                parse_query("(?x, 20, ?y) . dist(?x, ?y, 0.5)")
+            )
+
+    def test_validate_accepts_plain_bgp(self, small_graph):
+        GraphDatabase(small_graph).validate_query(parse_query("(?x, 20, ?y)"))
+
+    def test_space_accounting_monotonic(self, small_db):
+        assert small_db.baseline_size_in_bytes() > small_db.ring.size_in_bytes()
+        assert small_db.ring_size_in_bytes() > small_db.ring.size_in_bytes()
+        assert small_db.raw_size_in_bytes() > 0
+
+    def test_database_without_knn_space(self, small_graph):
+        db = GraphDatabase(small_graph)
+        assert db.ring_size_in_bytes() == db.ring.size_in_bytes()
+        assert db.baseline_size_in_bytes() == db.ring.size_in_bytes()
+        assert db.raw_size_in_bytes() == small_graph.size_in_bytes()
+
+
+class TestQueryResult:
+    def test_sorted_solutions_canonical(self):
+        stats = EvaluationStats()
+        result = QueryResult(
+            "test",
+            [{Var("b"): 2, Var("a"): 1}, {Var("a"): 0, Var("b"): 9}],
+            stats,
+        )
+        assert result.sorted_solutions() == [
+            (("a", 0), ("b", 9)),
+            (("a", 1), ("b", 2)),
+        ]
+
+    def test_elapsed_and_timeout_proxy_stats(self):
+        stats = EvaluationStats(elapsed=1.25, timed_out=True)
+        result = QueryResult("test", [], stats)
+        assert result.elapsed == 1.25
+        assert result.timed_out
+
+
+class TestEvaluationStats:
+    def test_first_sim_bind_fraction(self):
+        stats = EvaluationStats()
+        stats.sim_variables = frozenset({Var("s")})
+        stats.first_descent_order = [Var("a"), Var("b"), Var("s"), Var("c")]
+        assert stats.first_sim_bind_fraction == pytest.approx(2 / 4)
+
+    def test_fraction_none_without_sim_vars(self):
+        stats = EvaluationStats()
+        stats.first_descent_order = [Var("a")]
+        assert stats.first_sim_bind_fraction is None
+
+    def test_fraction_none_when_descent_misses_sim(self):
+        stats = EvaluationStats()
+        stats.sim_variables = frozenset({Var("s")})
+        stats.first_descent_order = [Var("a")]
+        assert stats.first_sim_bind_fraction is None
+
+    def test_sim_var_first_is_zero(self):
+        stats = EvaluationStats()
+        stats.sim_variables = frozenset({Var("s")})
+        stats.first_descent_order = [Var("s"), Var("a")]
+        assert stats.first_sim_bind_fraction == 0.0

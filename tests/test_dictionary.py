@@ -1,0 +1,45 @@
+"""Tests for the term dictionary."""
+
+import pytest
+
+from repro.graph.dictionary import TermDictionary
+from repro.query.model import Var
+
+
+class TestDictionary:
+    def test_add_is_idempotent(self):
+        d = TermDictionary()
+        assert d.add("alice") == 0
+        assert d.add("bob") == 1
+        assert d.add("alice") == 0
+        assert len(d) == 2
+
+    def test_lookup_both_ways(self):
+        d = TermDictionary(["x", "y"])
+        assert d.id_of("y") == 1
+        assert d.term_of(0) == "x"
+        assert "x" in d
+        assert "z" not in d
+
+    def test_unknown_term_raises(self):
+        with pytest.raises(KeyError):
+            TermDictionary().id_of("ghost")
+
+    def test_bad_id_raises(self):
+        d = TermDictionary(["x"])
+        with pytest.raises(IndexError):
+            d.term_of(5)
+        with pytest.raises(IndexError):
+            d.term_of(-1)
+
+    def test_encode_triples(self):
+        d = TermDictionary()
+        triples = d.encode_triples(
+            [("alice", "knows", "bob"), ("bob", "knows", "alice")]
+        )
+        assert triples == [(0, 1, 2), (2, 1, 0)]
+
+    def test_decode_solution(self):
+        d = TermDictionary(["alice", "bob"])
+        decoded = d.decode_solution({Var("x"): 1})
+        assert decoded == {Var("x"): "bob"}

@@ -1,0 +1,103 @@
+"""Tests for the range-based similarity index (Sec. 3.3 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.knn.distance_index import DistanceRangeIndex
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(41)
+    points = rng.uniform(size=(30, 2))
+    index = DistanceRangeIndex(points, d_max=0.5)
+    # Reference distances.
+    diff = points[:, None, :] - points[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=2))
+    return points, index, dist
+
+
+class TestDistanceIndex:
+    def test_neighbors_within_match_reference(self, setup):
+        _points, index, dist = setup
+        for u in range(30):
+            for d in (0.1, 0.3, 0.5):
+                expected = sorted(
+                    v for v in range(30) if v != u and dist[u, v] <= d
+                )
+                assert sorted(index.neighbors_within(u, d)) == expected
+
+    def test_neighbors_sorted_by_distance(self, setup):
+        _points, index, dist = setup
+        for u in (0, 7, 29):
+            got = index.neighbors_within(u, 0.5)
+            ds = [dist[u, v] for v in got]
+            assert ds == sorted(ds)
+
+    def test_contains_symmetric(self, setup):
+        _points, index, dist = setup
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            u, v = rng.integers(0, 30, 2)
+            if u == v:
+                continue
+            d = float(rng.uniform(0.05, 0.5))
+            expected = dist[u, v] <= d
+            assert index.contains(int(u), int(v), d) == expected
+            assert index.contains(int(v), int(u), d) == expected
+
+    def test_count_within(self, setup):
+        _points, index, dist = setup
+        for u in range(0, 30, 5):
+            assert index.count_within(u, 0.2) == int(
+                ((dist[u] <= 0.2).sum()) - (dist[u, u] <= 0.2)
+            )
+
+    def test_leap_within_enumerates_sorted_ids(self, setup):
+        _points, index, dist = setup
+        u = 3
+        expected = sorted(v for v in range(30) if v != u and dist[u, v] <= 0.4)
+        got = []
+        lower = 0
+        while True:
+            nxt = index.leap_within(u, 0.4, lower)
+            if nxt is None:
+                break
+            got.append(nxt)
+            lower = nxt + 1
+        assert got == expected
+
+    def test_query_beyond_dmax_rejected(self, setup):
+        _points, index, _dist = setup
+        with pytest.raises(ValidationError):
+            index.range_within(0, 0.6)
+
+    def test_non_member(self, setup):
+        _points, index, _dist = setup
+        lo, hi = index.range_within(999, 0.3)
+        assert lo > hi
+        assert index.neighbors_within(999, 0.3) == []
+
+    def test_next_member(self, setup):
+        _points, index, _dist = setup
+        assert index.next_member(0) == 0
+        assert index.next_member(29) == 29
+        assert index.next_member(30) is None
+
+    def test_custom_members_and_metric(self):
+        points = np.array([[0.0], [1.0], [3.0]])
+        members = np.array([10, 20, 30])
+
+        def l1(a, b):
+            return float(np.abs(a - b).sum())
+
+        index = DistanceRangeIndex(points, d_max=2.5, members=members, metric=l1)
+        assert index.neighbors_within(10, 1.5) == [20]
+        assert sorted(index.neighbors_within(20, 2.5)) == [10, 30]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            DistanceRangeIndex(np.zeros((3, 2)), d_max=0.0)
+        with pytest.raises(ValidationError):
+            DistanceRangeIndex(np.zeros(3), d_max=1.0)

@@ -1,0 +1,84 @@
+"""Tests for distance-clause evaluation (Sec. 3.3 extension), end to end."""
+
+import numpy as np
+import pytest
+
+from repro.engines.baseline import BaselineEngine
+from repro.engines.database import GraphDatabase
+from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+from repro.graph.naive import evaluate_naive
+from repro.graph.triples import GraphData
+from repro.knn.builders import build_knn_graph_bruteforce
+from repro.knn.distance_index import DistanceRangeIndex
+from repro.query.parser import parse_query
+from repro.utils.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def dist_db():
+    rng = np.random.default_rng(61)
+    n = 15
+    triples = [
+        (
+            int(rng.integers(0, n)),
+            int(30 + rng.integers(0, 2)),
+            int(rng.integers(0, n)),
+        )
+        for _ in range(70)
+    ]
+    graph = GraphData(triples)
+    points = rng.uniform(size=(n, 2))
+    knn = build_knn_graph_bruteforce(points, K=4)
+    index = DistanceRangeIndex(points, d_max=0.8)
+    diff = points[:, None, :] - points[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=2))
+    distances = {
+        (i, j): float(dist[i, j]) for i in range(n) for j in range(n) if i != j
+    }
+    return GraphDatabase(graph, knn, index), graph, knn, distances
+
+
+def canonical(solutions):
+    return sorted(
+        tuple(sorted((v.name, c) for v, c in s.items())) for s in solutions
+    )
+
+
+DIST_QUERIES = [
+    "(?x, 30, ?y) . dist(?x, ?y, 0.4)",
+    "(?x, 30, ?y) . (?y, 31, ?z) . dist(?x, ?z, 0.5)",
+    "(?x, 30, ?y) . dist(?y, ?w, 0.3)",
+    "(?x, 30, ?y) . dist(?x, ?y, 0.4) . knn(?x, ?y, 4)",
+]
+
+
+@pytest.mark.parametrize("text", DIST_QUERIES)
+def test_engines_match_naive_with_distance(dist_db, text):
+    db, graph, knn, distances = dist_db
+    query = parse_query(text)
+    expected = canonical(evaluate_naive(query, graph, knn, distances))
+    for engine_cls in (RingKnnEngine, RingKnnSEngine, BaselineEngine):
+        got = engine_cls(db).evaluate(query).sorted_solutions()
+        assert got == expected, engine_cls.__name__
+
+
+def test_distance_without_index_rejected(dist_db):
+    _db, graph, knn, _distances = dist_db
+    bare = GraphDatabase(graph, knn)
+    query = parse_query("(?x, 30, ?y) . dist(?x, ?y, 0.4)")
+    with pytest.raises(QueryError):
+        RingKnnEngine(bare).evaluate(query)
+
+
+def test_distance_beyond_dmax_rejected(dist_db):
+    db, _graph, _knn, _distances = dist_db
+    query = parse_query("(?x, 30, ?y) . dist(?x, ?y, 0.9)")
+    with pytest.raises(QueryError):
+        RingKnnEngine(db).evaluate(query)
+
+
+def test_distance_predicate_is_symmetric(dist_db):
+    db, _graph, _knn, _distances = dist_db
+    a = RingKnnEngine(db).evaluate(parse_query("(?x, 30, ?y) . dist(?x, ?y, 0.4)"))
+    b = RingKnnEngine(db).evaluate(parse_query("(?x, 30, ?y) . dist(?y, ?x, 0.4)"))
+    assert a.sorted_solutions() == b.sorted_solutions()

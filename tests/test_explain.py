@@ -1,0 +1,108 @@
+"""Tests for query-plan explanation."""
+
+import pytest
+
+from repro.explain import explain
+from repro.query.model import Var
+from repro.query.parser import parse_query
+
+
+class TestExplain:
+    def test_acyclic_query_is_wco_under_ring_knn(self, small_db):
+        report = explain(
+            small_db, parse_query("(?x, 20, ?y) . knn(?x, ?y, 3)")
+        )
+        assert report.constraint_class == "acyclic"
+        assert report.wco_guarantee
+        assert report.safe
+        assert report.q_star is not None and report.q_star > 0
+
+    def test_single_2_cyclic_still_wco(self, small_db):
+        report = explain(
+            small_db, parse_query("(?x, 20, ?y) . sim(?x, ?y, 3)")
+        )
+        assert report.constraint_class == "single-2-cyclic"
+        assert report.wco_guarantee
+
+    def test_general_cycle_not_guaranteed(self, small_db):
+        q = parse_query(
+            "(?a, 20, ?x) . (?b, 20, ?y) . (?c, 20, ?z) "
+            ". knn(?x,?y,3) . knn(?y,?z,3) . knn(?z,?x,3)"
+        )
+        report = explain(small_db, q)
+        assert report.constraint_class == "general-cyclic"
+        assert not report.wco_guarantee
+
+    def test_ring_knn_s_never_guaranteed_on_cycles(self, small_db):
+        q = parse_query("(?x, 20, ?y) . sim(?x, ?y, 3)")
+        report = explain(small_db, q, engine="ring-knn-s")
+        assert not report.wco_guarantee
+        assert any("variance" in n for n in report.notes)
+
+    def test_probe_order_recorded(self, small_db):
+        report = explain(
+            small_db, parse_query("(?x, 20, ?y) . knn(?x, ?y, 3)")
+        )
+        assert report.probe_order
+        assert set(report.probe_order) <= {Var("x"), Var("y")}
+
+    def test_probe_can_be_disabled(self, small_db):
+        report = explain(
+            small_db,
+            parse_query("(?x, 20, ?y) . knn(?x, ?y, 3)"),
+            probe=False,
+        )
+        assert report.probe_order == ()
+
+    def test_initial_estimates_match_data(self, small_db):
+        report = explain(
+            small_db, parse_query("(?x, 20, ?y) . knn(?x, ?y, 3)"),
+            probe=False,
+        )
+        # x: min(range of the triple, member count). y likewise.
+        n20 = len(small_db.graph.matching(None, 20, None))
+        assert report.initial_estimates[Var("x")] == min(n20, 20)
+        assert report.initial_estimates[Var("y")] == min(n20, 20)
+
+    def test_unsafe_query_flagged(self, small_db):
+        report = explain(
+            small_db, parse_query("(?x, 20, ?y) . knn(?w, ?x, 3)"),
+            probe=False,
+        )
+        assert not report.safe
+        assert report.q_star is not None
+
+    def test_distance_clause_notes(self, small_db):
+        import numpy as np
+
+        from repro.engines.database import GraphDatabase
+        from repro.knn.distance_index import DistanceRangeIndex
+
+        rng = np.random.default_rng(0)
+        points = rng.uniform(size=(20, 2))
+        db = GraphDatabase(
+            small_db.graph,
+            small_db.knn_graph,
+            DistanceRangeIndex(points, d_max=1.0),
+        )
+        report = explain(
+            db, parse_query("(?x, 20, ?y) . dist(?x, ?y, 0.5)"), probe=False
+        )
+        assert report.q_star is None
+        assert any("distance" in n for n in report.notes)
+
+    def test_format_renders_everything(self, small_db):
+        report = explain(
+            small_db,
+            parse_query("(?x, 20, ?y) . sim(?x, ?y, 3) . (?y, ?l1, ?l2)"),
+        )
+        text = report.format()
+        assert "engine: ring-knn" in text
+        assert "lonely" in text
+        assert "single-2-cyclic" in text
+        assert "Q*" in text
+        assert "probe elimination order" in text
+
+    def test_unknown_engine_rejected(self, small_db):
+        with pytest.raises(KeyError):
+            explain(small_db, parse_query("(?x, 20, ?y)"), engine="magic")

@@ -1,0 +1,50 @@
+"""Unit tests for the Figure-2 measurement model (EngineSeries etc.)."""
+
+import pytest
+
+from repro.experiments.figure2 import EngineSeries, FamilyResult
+
+
+class TestEngineSeries:
+    def test_empty_series(self):
+        s = EngineSeries()
+        assert s.mean == 0.0
+        assert s.median == 0.0
+        assert s.percentile(90) == 0.0
+        assert s.mean_sim_bind_fraction is None
+
+    def test_mean_median(self):
+        s = EngineSeries(times=[1.0, 2.0, 6.0])
+        assert s.mean == pytest.approx(3.0)
+        assert s.median == pytest.approx(2.0)
+
+    def test_percentiles(self):
+        s = EngineSeries(times=list(map(float, range(1, 11))))
+        assert s.percentile(90) == pytest.approx(9.1)
+        assert s.percentile(50) == s.median
+
+    def test_sim_bind_fraction_mean(self):
+        s = EngineSeries(sim_bind_fractions=[0.0, 0.5, 1.0])
+        assert s.mean_sim_bind_fraction == pytest.approx(0.5)
+
+
+class TestFamilyResult:
+    def test_speedup(self):
+        fr = FamilyResult(
+            "Q1",
+            {
+                "baseline": EngineSeries(times=[4.0]),
+                "ring-knn": EngineSeries(times=[1.0]),
+            },
+        )
+        assert fr.speedup("ring-knn") == pytest.approx(4.0)
+
+    def test_speedup_infinite_when_engine_instant(self):
+        fr = FamilyResult(
+            "Q1",
+            {
+                "baseline": EngineSeries(times=[4.0]),
+                "ring-knn": EngineSeries(),
+            },
+        )
+        assert fr.speedup("ring-knn") == float("inf")

@@ -1,0 +1,80 @@
+"""Full-pipeline integration tests: benchmark generation -> workload ->
+all five engines agree across every family, plus cross-checks of the
+harness plumbing at test scale."""
+
+import pytest
+
+from repro.datasets.workload import WorkloadConfig, generate_workload
+from repro.engines.baseline import BaselineEngine
+from repro.engines.classic import ClassicSixPermEngine
+from repro.engines.materialize import MaterializeEngine
+from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+
+
+@pytest.fixture(scope="module")
+def workload(bench):
+    return generate_workload(
+        bench,
+        WorkloadConfig(k=4, n_q1=2, n_q2=1, n_q3=2, n_q4=1, n_q5=2, seed=33),
+    )
+
+
+@pytest.fixture(scope="module")
+def engines(bench_db):
+    return [
+        RingKnnEngine(bench_db),
+        RingKnnSEngine(bench_db),
+        BaselineEngine(bench_db),
+        MaterializeEngine(bench_db),
+        ClassicSixPermEngine(bench_db),
+    ]
+
+
+FAMILIES = ["Q1", "Q1b", "Q2", "Q2b", "Q2t", "Q3", "Q4", "Q5"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_five_engines_agree_per_family(workload, engines, family):
+    for query in workload[family]:
+        results = [e.evaluate(query, timeout=60) for e in engines]
+        reference = results[0].sorted_solutions()
+        for engine, result in zip(engines, results):
+            assert not result.timed_out, (family, engine.name)
+            assert result.sorted_solutions() == reference, (
+                family,
+                engine.name,
+            )
+
+
+def test_stats_invariants_across_engines(workload, engines):
+    """attempts >= bindings and solutions counted consistently."""
+    for query in workload["Q1"]:
+        for engine in engines:
+            result = engine.evaluate(query, timeout=60)
+            stats = result.stats
+            assert stats.attempts >= stats.bindings >= 0
+            if engine.name != "baseline":
+                # LTJ-only engines: every solution implies |vars| bindings.
+                assert stats.bindings >= stats.solutions
+            assert stats.elapsed >= 0
+
+
+def test_limits_are_consistent_across_engines(workload, engines):
+    query = workload["Q3"][0]
+    full = engines[0].evaluate(query, timeout=60)
+    want = min(2, len(full.solutions))
+    if want == 0:
+        pytest.skip("query has no solutions at this scale/seed")
+    for engine in engines:
+        limited = engine.evaluate(query, timeout=60, limit=want)
+        assert len(limited.solutions) == want
+        # Limited answers are genuine answers.
+        assert set(limited.sorted_solutions()) <= set(full.sorted_solutions())
+
+
+def test_repeated_evaluation_is_deterministic(workload, engines):
+    query = workload["Q1b"][0]
+    for engine in engines:
+        first = engine.evaluate(query, timeout=60).sorted_solutions()
+        second = engine.evaluate(query, timeout=60).sorted_solutions()
+        assert first == second, engine.name

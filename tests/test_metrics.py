@@ -1,0 +1,91 @@
+"""Tests for the distance-function library."""
+
+import numpy as np
+import pytest
+
+from repro.knn.builders import build_knn_graph_bruteforce
+from repro.knn.metrics import (
+    METRICS,
+    chebyshev,
+    cosine_distance,
+    euclidean,
+    hamming,
+    manhattan,
+    metric_by_name,
+    squared_euclidean,
+)
+from repro.utils.errors import ValidationError
+
+A = np.array([1.0, 2.0, 2.0])
+B = np.array([1.0, 0.0, 4.0])
+
+
+class TestMetricValues:
+    def test_euclidean(self):
+        assert euclidean(A, B) == pytest.approx(np.sqrt(8))
+        assert squared_euclidean(A, B) == pytest.approx(8.0)
+
+    def test_manhattan(self):
+        assert manhattan(A, B) == pytest.approx(4.0)
+
+    def test_chebyshev(self):
+        assert chebyshev(A, B) == pytest.approx(2.0)
+
+    def test_cosine(self):
+        assert cosine_distance(A, A) == pytest.approx(0.0)
+        assert cosine_distance(A, -A) == pytest.approx(2.0)
+        assert cosine_distance(np.array([1.0, 0]), np.array([0, 1.0])) == (
+            pytest.approx(1.0)
+        )
+
+    def test_cosine_zero_vector_rejected(self):
+        with pytest.raises(ValidationError):
+            cosine_distance(np.zeros(3), A)
+
+    def test_hamming(self):
+        assert hamming(np.array([1, 0, 1, 1]), np.array([1, 1, 1, 0])) == 2.0
+
+
+class TestMetricProperties:
+    @pytest.mark.parametrize(
+        "name", ["euclidean", "squared_euclidean", "manhattan", "chebyshev"]
+    )
+    def test_symmetry_and_identity(self, name):
+        metric = METRICS[name]
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a, b = rng.normal(size=(2, 5))
+            assert metric(a, b) == pytest.approx(metric(b, a))
+            assert metric(a, a) == pytest.approx(0.0)
+            assert metric(a, b) >= 0
+
+    @pytest.mark.parametrize("name", ["euclidean", "manhattan", "chebyshev"])
+    def test_triangle_inequality(self, name):
+        metric = METRICS[name]
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            a, b, c = rng.normal(size=(3, 4))
+            assert metric(a, c) <= metric(a, b) + metric(b, c) + 1e-9
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert metric_by_name("manhattan") is manhattan
+
+    def test_unknown(self):
+        with pytest.raises(ValidationError):
+            metric_by_name("minkowski-7")
+
+
+class TestNonMetricKnnGraph:
+    def test_cosine_knn_graph_builds(self):
+        """Sec. 3.1: the structures accept any k-NN relation, including
+        ones from non-metric similarities like cosine distance."""
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(25, 6)) + 0.1
+        graph = build_knn_graph_bruteforce(points, K=4, metric=cosine_distance)
+        from repro.knn.succinct import KnnRing
+
+        ring = KnnRing(graph)
+        for u in (0, 10, 24):
+            assert ring.neighbors_of(u) == graph.neighbors_of(u).tolist()

@@ -1,0 +1,83 @@
+"""Tests for the brute-force oracle itself (on hand-computable cases)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.naive import evaluate_naive
+from repro.graph.triples import GraphData
+from repro.knn.graph import KnnGraph
+from repro.query.model import Var
+from repro.query.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    graph = GraphData([(0, 9, 1), (1, 9, 2), (2, 9, 0), (0, 8, 2)])
+    members = np.arange(3)
+    neighbors = np.array([[1, 2], [0, 2], [1, 0]])
+    return graph, KnnGraph(members, neighbors)
+
+
+class TestNaive:
+    def test_single_pattern(self, tiny):
+        graph, _knn = tiny
+        sols = evaluate_naive(parse_query("(?x, 9, ?y)"), graph)
+        assert len(sols) == 3
+
+    def test_join(self, tiny):
+        graph, _knn = tiny
+        sols = evaluate_naive(parse_query("(?x, 9, ?y) . (?y, 9, ?z)"), graph)
+        got = {(s[Var("x")], s[Var("y")], s[Var("z")]) for s in sols}
+        assert got == {(0, 1, 2), (1, 2, 0), (2, 0, 1)}
+
+    def test_knn_clause_filters(self, tiny):
+        graph, knn = tiny
+        sols = evaluate_naive(
+            parse_query("(?x, 9, ?y) . knn(?x, ?y, 1)"), graph, knn
+        )
+        # Edges: 0->1 (1 is 0's 1-NN: yes), 1->2 (2 is 1's 1-NN? S_1=[0,2]
+        # rank of 2 is 2: no), 2->0 (0 is 2's 1-NN? S_2=[1,0]: no).
+        got = {(s[Var("x")], s[Var("y")]) for s in sols}
+        assert got == {(0, 1)}
+
+    def test_knn_extension_variable(self, tiny):
+        graph, knn = tiny
+        sols = evaluate_naive(
+            parse_query("(?x, 8, ?y) . knn(?x, ?w, 2)"), graph, knn
+        )
+        # Edge (0, 8, 2); w ranges over 2-NN(0) = {1, 2}.
+        got = {(s[Var("x")], s[Var("y")], s[Var("w")]) for s in sols}
+        assert got == {(0, 2, 1), (0, 2, 2)}
+
+    def test_missing_knn_graph_raises(self, tiny):
+        graph, _knn = tiny
+        with pytest.raises(ValueError):
+            evaluate_naive(parse_query("(?x, 9, ?y) . knn(?x, ?y, 1)"), graph)
+
+    def test_missing_distances_raise(self, tiny):
+        graph, knn = tiny
+        with pytest.raises(ValueError):
+            evaluate_naive(
+                parse_query("(?x, 9, ?y) . dist(?x, ?y, 1.0)"), graph, knn
+            )
+
+    def test_distance_clause(self, tiny):
+        graph, knn = tiny
+        distances = {(0, 1): 0.5, (0, 2): 2.0, (1, 2): 0.7}
+        sols = evaluate_naive(
+            parse_query("(?x, 9, ?y) . dist(?x, ?y, 1.0)"),
+            graph,
+            knn,
+            distances,
+        )
+        got = {(s[Var("x")], s[Var("y")]) for s in sols}
+        # Symmetric lookup: edges 0->1 (0.5 ok), 1->2 (0.7 ok), 2->0 (2.0 no).
+        assert got == {(0, 1), (1, 2)}
+
+    def test_deduplication(self, tiny):
+        graph, _knn = tiny
+        # x joins via two patterns that can match the same assignment.
+        sols = evaluate_naive(
+            parse_query("(?x, 9, ?y) . (?x, 9, ?y)"), graph
+        )
+        assert len(sols) == 3

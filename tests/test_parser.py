@@ -1,0 +1,88 @@
+"""Tests for the textual query syntax."""
+
+import pytest
+
+from repro.graph.dictionary import TermDictionary
+from repro.query.model import DistClause, SimClause, TriplePattern, Var
+from repro.query.parser import parse_query
+from repro.utils.errors import QueryError
+
+
+class TestTriples:
+    def test_simple_triple(self):
+        q = parse_query("(?x, 5, ?y)")
+        assert q.triples == (TriplePattern(Var("x"), 5, Var("y")),)
+
+    def test_multiple_atoms(self):
+        q = parse_query("(?x, 5, ?y) . (?y, 6, 3)")
+        assert len(q.triples) == 2
+        assert q.triples[1] == TriplePattern(Var("y"), 6, 3)
+
+    def test_whitespace_tolerant(self):
+        q = parse_query("  ( ?x ,5, ?y )  .   knn( ?x , ?y , 2 ) ")
+        assert len(q.triples) == 1
+        assert len(q.clauses) == 1
+
+
+class TestClauses:
+    def test_knn_clause(self):
+        q = parse_query("(?x, 1, ?y) . knn(?x, ?y, 7)")
+        assert q.clauses == (SimClause(Var("x"), 7, Var("y")),)
+
+    def test_sim_expands_to_two_clauses(self):
+        q = parse_query("(?x, 1, ?y) . sim(?x, ?y, 4)")
+        assert q.clauses == (
+            SimClause(Var("x"), 4, Var("y")),
+            SimClause(Var("y"), 4, Var("x")),
+        )
+
+    def test_knn_with_constant(self):
+        q = parse_query("(?x, 1, ?y) . knn(12, ?x, 3)")
+        assert q.clauses == (SimClause(12, 3, Var("x")),)
+
+    def test_dist_clause(self):
+        q = parse_query("(?x, 1, ?y) . dist(?x, ?y, 2.5)")
+        assert q.dist_clauses == (DistClause(Var("x"), 2.5, Var("y")),)
+
+    def test_float_k_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("knn(?x, ?y, 2.5)")
+
+
+class TestDictionaryResolution:
+    def test_named_terms(self):
+        d = TermDictionary(["alice", "knows"])
+        q = parse_query("(alice, knows, ?x)", d)
+        assert q.triples[0] == TriplePattern(0, 1, Var("x"))
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(QueryError):
+            parse_query("(ghost, 1, ?x)", TermDictionary())
+
+    def test_named_without_dictionary_raises(self):
+        with pytest.raises(QueryError):
+            parse_query("(alice, 1, ?x)")
+
+
+class TestErrors:
+    def test_empty_query(self):
+        with pytest.raises(QueryError):
+            parse_query("")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(QueryError):
+            parse_query("(?x, 1, ?y")
+        with pytest.raises(QueryError):
+            parse_query("?x, 1, ?y)")
+
+    def test_garbage_atom(self):
+        with pytest.raises(QueryError):
+            parse_query("hello world")
+
+    def test_variable_without_name(self):
+        with pytest.raises(QueryError):
+            parse_query("(?, 1, ?y)")
+
+    def test_two_term_triple(self):
+        with pytest.raises(QueryError):
+            parse_query("(?x, 1)")

@@ -1,0 +1,99 @@
+"""Tests for SELECT-style projection/DISTINCT and the two leapfrog
+intersection strategies."""
+
+import pytest
+
+from repro.engines.ring_knn import RingKnnEngine
+from repro.ltj.engine import LTJEngine
+from repro.ltj.ordering import MinCandidatesOrdering
+from repro.ltj.triple_relation import RingTripleRelation
+from repro.query.model import Var
+from repro.query.parser import parse_query
+from repro.utils.errors import QueryError
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+class TestProjection:
+    def test_project_keeps_only_requested_vars(self, small_db):
+        q = parse_query("(?x, 20, ?y) . knn(?x, ?y, 4)")
+        result = RingKnnEngine(small_db).evaluate(q, project=[X])
+        assert result.solutions
+        for sol in result.solutions:
+            assert set(sol) == {X}
+
+    def test_distinct_projection_dedups(self, small_db):
+        q = parse_query("(?x, 20, ?y)")
+        full = RingKnnEngine(small_db).evaluate(q, project=[X])
+        distinct = RingKnnEngine(small_db).evaluate(
+            q, project=[X], distinct=True
+        )
+        xs = {sol[X] for sol in full.solutions}
+        assert len(distinct.solutions) == len(xs)
+        assert {sol[X] for sol in distinct.solutions} == xs
+        assert len(full.solutions) >= len(distinct.solutions)
+
+    def test_distinct_with_limit(self, small_db):
+        q = parse_query("(?x, 20, ?y)")
+        result = RingKnnEngine(small_db).evaluate(
+            q, project=[X], distinct=True, limit=3
+        )
+        assert len(result.solutions) == 3
+        keys = [sol[X] for sol in result.solutions]
+        assert len(set(keys)) == 3
+
+    def test_projection_preserves_answer_multiplicity(self, small_db):
+        q = parse_query("(?x, 20, ?y)")
+        plain = RingKnnEngine(small_db).evaluate(q)
+        projected = RingKnnEngine(small_db).evaluate(q, project=[X, Y])
+        assert len(plain.solutions) == len(projected.solutions)
+
+
+class TestIntersectionStrategies:
+    def _relations(self, db, text):
+        q = parse_query(text)
+        return [RingTripleRelation(db.ring, t) for t in q.triples]
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(?x, 20, ?y) . (?y, 21, ?z)",
+            "(?x, 20, ?y) . (?y, 20, ?z) . (?z, 20, ?x)",
+            "(?x, ?p, ?y) . (?y, ?p, ?x)",
+        ],
+    )
+    def test_strategies_agree(self, small_db, text):
+        results = {}
+        for strategy in ("leapfrog", "roundrobin"):
+            engine = LTJEngine(
+                self._relations(small_db, text),
+                ordering=MinCandidatesOrdering(),
+                intersection=strategy,
+            )
+            results[strategy] = sorted(
+                tuple(sorted((v.name, c) for v, c in s.items()))
+                for s in engine.evaluate()
+            )
+        assert results["leapfrog"] == results["roundrobin"]
+
+    def test_leapfrog_not_more_leaps_on_skew(self, small_db):
+        """The sorted strategy should not issue more leap calls than
+        round-robin on multi-atom intersections."""
+        text = "(?x, 20, ?y) . (?y, 20, ?z) . (?z, 20, ?x)"
+        calls = {}
+        for strategy in ("leapfrog", "roundrobin"):
+            engine = LTJEngine(
+                self._relations(small_db, text),
+                ordering=MinCandidatesOrdering(),
+                intersection=strategy,
+            )
+            engine.evaluate()
+            calls[strategy] = engine.stats.leap_calls
+        assert calls["leapfrog"] <= calls["roundrobin"] * 1.1
+
+    def test_unknown_strategy_rejected(self, small_db):
+        with pytest.raises(QueryError):
+            LTJEngine(
+                self._relations(small_db, "(?x, 20, ?y)"),
+                intersection="zigzag",
+            )

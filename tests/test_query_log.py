@@ -1,0 +1,87 @@
+"""Tests for the pseudo query-log miner and the splicing rule."""
+
+import pytest
+
+from repro.datasets.query_log import (
+    generate_workload_from_log,
+    mine_log_queries,
+    splice_similarity,
+)
+from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+from repro.engines.baseline import BaselineEngine
+from repro.query.model import ExtendedBGP, Var
+from repro.utils.errors import ValidationError
+
+
+class TestMining:
+    def test_shapes_cycle(self, bench):
+        log = mine_log_queries(bench, 6, seed=1)
+        assert [q.shape for q in log] == [
+            "star", "path", "snowflake", "star", "path", "snowflake",
+        ]
+
+    def test_deterministic(self, bench):
+        a = mine_log_queries(bench, 4, seed=5)
+        b = mine_log_queries(bench, 4, seed=5)
+        assert a == b
+
+    def test_every_query_mentions_its_image_var(self, bench):
+        for q in mine_log_queries(bench, 9, seed=2):
+            assert any(
+                q.image_var in t.variables for t in q.patterns
+            ), q
+
+    def test_mined_queries_are_satisfiable(self, bench, bench_db):
+        engine = RingKnnSEngine(bench_db)
+        for q in mine_log_queries(bench, 6, seed=3):
+            result = engine.evaluate(
+                ExtendedBGP(list(q.patterns)), timeout=30
+            )
+            assert result.solutions, q
+
+    def test_count_validated(self, bench):
+        with pytest.raises(ValidationError):
+            mine_log_queries(bench, 0)
+
+
+class TestSplicing:
+    def test_variables_disjoint_except_clause(self, bench):
+        left, right = mine_log_queries(bench, 2, seed=7)
+        query = splice_similarity(left, right, k=3)
+        left_vars = {
+            v for t in query.triples for v in t.variables
+            if v.name.endswith("_l")
+        }
+        right_vars = {
+            v for t in query.triples for v in t.variables
+            if v.name.endswith("_r")
+        }
+        assert left_vars and right_vars
+        assert not left_vars & right_vars
+        assert len(query.clauses) == 1
+
+    def test_symmetric_splice(self, bench):
+        left, right = mine_log_queries(bench, 2, seed=7)
+        query = splice_similarity(left, right, k=3, symmetric=True)
+        assert len(query.clauses) == 2
+
+    def test_engines_agree_on_log_workload(self, bench, bench_db):
+        queries = generate_workload_from_log(bench, 3, k=4, seed=11)
+        engines = [
+            RingKnnEngine(bench_db),
+            RingKnnSEngine(bench_db),
+            BaselineEngine(bench_db),
+        ]
+        for query in queries:
+            results = [
+                e.evaluate(query, timeout=60).sorted_solutions()
+                for e in engines
+            ]
+            assert results[0] == results[1] == results[2]
+
+    def test_clause_connects_the_two_images(self, bench):
+        left, right = mine_log_queries(bench, 2, seed=9)
+        query = splice_similarity(left, right, k=2)
+        clause = query.clauses[0]
+        assert isinstance(clause.x, Var) and clause.x.name.endswith("_l")
+        assert isinstance(clause.y, Var) and clause.y.name.endswith("_r")

@@ -1,0 +1,146 @@
+"""Tests for the extended-BGP model (Defs. 2 and 5)."""
+
+import pytest
+
+from repro.query.model import (
+    DistClause,
+    ExtendedBGP,
+    SimClause,
+    TriplePattern,
+    Var,
+    is_var,
+    sym_clauses,
+)
+from repro.utils.errors import QueryError
+
+
+class TestVarAndTerms:
+    def test_var_equality_and_repr(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert repr(Var("x")) == "?x"
+
+    def test_is_var(self):
+        assert is_var(Var("x"))
+        assert not is_var(3)
+
+
+class TestTriplePattern:
+    def test_variables_deduplicated_in_order(self):
+        t = TriplePattern(Var("a"), Var("b"), Var("a"))
+        assert t.variables == (Var("a"), Var("b"))
+
+    def test_coordinates_of(self):
+        t = TriplePattern(Var("a"), 5, Var("a"))
+        assert t.coordinates_of(Var("a")) == ("s", "o")
+        assert t.coordinates_of(Var("z")) == ()
+
+    def test_substitute(self):
+        t = TriplePattern(Var("a"), 5, Var("b"))
+        t2 = t.substitute({Var("a"): 7})
+        assert t2 == TriplePattern(7, 5, Var("b"))
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(QueryError):
+            TriplePattern(-1, 0, 0)
+
+    def test_bool_constant_rejected(self):
+        with pytest.raises(QueryError):
+            TriplePattern(True, 0, 0)
+
+
+class TestSimClause:
+    def test_valid_clause(self):
+        c = SimClause(Var("x"), 3, Var("y"))
+        assert c.variables == (Var("x"), Var("y"))
+
+    def test_k_must_be_positive_int(self):
+        with pytest.raises(QueryError):
+            SimClause(Var("x"), 0, Var("y"))
+        with pytest.raises(QueryError):
+            SimClause(Var("x"), -2, Var("y"))
+
+    def test_x_must_differ_from_y(self):
+        with pytest.raises(QueryError):
+            SimClause(Var("x"), 3, Var("x"))
+        with pytest.raises(QueryError):
+            SimClause(7, 3, 7)
+
+    def test_constant_sides_allowed(self):
+        c = SimClause(7, 3, Var("y"))
+        assert c.variables == (Var("y"),)
+
+    def test_sym_expansion(self):
+        a, b = sym_clauses(Var("x"), 5, Var("y"))
+        assert a == SimClause(Var("x"), 5, Var("y"))
+        assert b == SimClause(Var("y"), 5, Var("x"))
+
+
+class TestDistClause:
+    def test_valid(self):
+        c = DistClause(Var("x"), 1.5, Var("y"))
+        assert c.variables == (Var("x"), Var("y"))
+
+    def test_nonpositive_distance_rejected(self):
+        with pytest.raises(QueryError):
+            DistClause(Var("x"), 0.0, Var("y"))
+
+
+class TestExtendedBGP:
+    def q(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        return ExtendedBGP(
+            [TriplePattern(x, 0, y), TriplePattern(y, 0, z)],
+            [SimClause(x, 2, z)],
+        )
+
+    def test_variables_in_first_seen_order(self):
+        assert self.q().variables == (Var("x"), Var("y"), Var("z"))
+
+    def test_atom_count(self):
+        q = self.q()
+        assert q.atom_count(Var("y")) == 2
+        assert q.atom_count(Var("x")) == 2
+        assert q.atom_count(Var("z")) == 2
+
+    def test_lonely_variables(self):
+        x, y = Var("x"), Var("y")
+        q = ExtendedBGP(
+            [TriplePattern(x, 0, y), TriplePattern(y, Var("l1"), Var("l2"))]
+        )
+        assert set(q.lonely_variables()) == {Var("x"), Var("l1"), Var("l2")}
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            ExtendedBGP([], [])
+
+    def test_safety(self):
+        x, y, w = Var("x"), Var("y"), Var("w")
+        safe = ExtendedBGP([TriplePattern(x, 0, y)], [SimClause(x, 2, w)])
+        assert safe.is_safe()
+        unsafe = ExtendedBGP([TriplePattern(x, 0, y)], [SimClause(w, 2, x)])
+        assert not unsafe.is_safe()
+        # Constant x side is trivially safe.
+        const = ExtendedBGP([TriplePattern(x, 0, y)], [SimClause(9, 2, x)])
+        assert const.is_safe()
+
+    def test_max_k(self):
+        q = ExtendedBGP(
+            [TriplePattern(Var("x"), 0, Var("y"))],
+            [SimClause(Var("x"), 7, Var("y")), SimClause(Var("y"), 3, Var("x"))],
+        )
+        assert q.max_k() == 7
+
+    def test_max_k_no_clauses(self):
+        q = ExtendedBGP([TriplePattern(Var("x"), 0, Var("y"))])
+        assert q.max_k() == 0
+
+    def test_equality_and_hash(self):
+        assert self.q() == self.q()
+        assert hash(self.q()) == hash(self.q())
+
+    def test_wrong_atom_types_rejected(self):
+        with pytest.raises(QueryError):
+            ExtendedBGP(["not a pattern"], [])
+        with pytest.raises(QueryError):
+            ExtendedBGP([], ["not a clause"])

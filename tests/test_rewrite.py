@@ -1,0 +1,100 @@
+"""Tests for the Sec. 7 direction-free-similarity rewrites."""
+
+import pytest
+
+from repro.bounds.constraint_graph import ConstraintGraph
+from repro.engines.ring_knn import RingKnnEngine
+from repro.query.model import SimClause, TriplePattern, Var
+from repro.query.parser import parse_query
+from repro.query.rewrite import UndirectedSim, orient_clauses, symmetric_to_directed
+from repro.utils.errors import QueryError
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+class TestOrientClauses:
+    def test_orientation_is_acyclic(self):
+        triples = [
+            TriplePattern(X, 20, Y),
+            TriplePattern(Y, 20, Z),
+        ]
+        pairs = [
+            UndirectedSim(X, 3, Y),
+            UndirectedSim(Y, 3, Z),
+            UndirectedSim(Z, 3, X),  # would close a triangle if misdirected
+        ]
+        query = orient_clauses(triples, pairs)
+        assert ConstraintGraph(query).is_acyclic()
+
+    def test_respects_custom_order(self):
+        triples = [TriplePattern(X, 20, Y)]
+        query = orient_clauses(
+            triples, [UndirectedSim(X, 3, Y)], order=[Y, X]
+        )
+        assert query.clauses == (SimClause(Y, 3, X),)
+
+    def test_constant_endpoint_goes_first(self):
+        triples = [TriplePattern(X, 20, Y)]
+        query = orient_clauses(triples, [UndirectedSim(X, 3, 7)])
+        assert query.clauses == (SimClause(7, 3, X),)
+
+    def test_relation_preserved(self):
+        triples = [TriplePattern(X, 20, Y)]
+        query = orient_clauses(
+            triples, [UndirectedSim(X, 3, Y, relation="geo")]
+        )
+        assert query.clauses[0].relation == "geo"
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(QueryError):
+            UndirectedSim(X, 3, X)
+
+
+class TestSymmetricToDirected:
+    def test_drops_one_direction_per_cycle(self):
+        query = parse_query("(?x, 20, ?y) . sim(?x, ?y, 4)")
+        rewritten = symmetric_to_directed(query)
+        assert len(rewritten.clauses) == 1
+        assert ConstraintGraph(rewritten).is_acyclic()
+
+    def test_keeps_plain_clauses(self):
+        query = parse_query("(?x, 20, ?y) . knn(?x, ?y, 4) . sim(?y, ?w, 2)")
+        rewritten = symmetric_to_directed(query)
+        # One directed clause survives the sym pair; the plain one stays.
+        assert len(rewritten.clauses) == 2
+        assert SimClause(X, 4, Y) in rewritten.clauses
+
+    def test_answers_are_superset_of_symmetric(self, small_db):
+        symmetric = parse_query("(?x, 20, ?y) . sim(?x, ?y, 4)")
+        directed = symmetric_to_directed(symmetric)
+        engine = RingKnnEngine(small_db)
+        exact = set(engine.evaluate(symmetric).sorted_solutions())
+        approx = set(engine.evaluate(directed).sorted_solutions())
+        assert exact <= approx
+
+    def test_answer_quality_overlap(self, bench_db, bench):
+        """Sec. 7: the directed rewrite trades a bounded amount of
+        answer fidelity for acyclicity; on the benchmark the overlap
+        should be substantial (the kept direction implies similarity)."""
+        from repro.datasets.workload import WorkloadConfig, generate_workload
+
+        workload = generate_workload(
+            bench, WorkloadConfig(k=4, n_q1=3, seed=8)
+        )
+        engine = RingKnnEngine(bench_db)
+        for query in workload["Q1b"]:
+            exact = set(engine.evaluate(query, timeout=30).sorted_solutions())
+            approx = set(
+                engine.evaluate(
+                    symmetric_to_directed(query), timeout=30
+                ).sorted_solutions()
+            )
+            assert exact <= approx
+            if approx:
+                # The superset cannot be arbitrarily inflated: it is
+                # bounded by dropping one of two k-NN conditions.
+                assert len(exact) / len(approx) >= 0.1
+
+    def test_untouched_without_symmetric_pairs(self, small_db):
+        query = parse_query("(?x, 20, ?y) . knn(?x, ?y, 3)")
+        assert symmetric_to_directed(query) == query

@@ -1,0 +1,56 @@
+"""Unit tests for the per-tuple-cost harness (E13)."""
+
+from repro.datasets.workload import WorkloadConfig, generate_workload
+from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+from repro.experiments.report import format_table
+from repro.experiments.tuple_cost import (
+    TUPLE_COST_HEADERS,
+    TupleCostReport,
+    TupleCostRow,
+    run_tuple_cost,
+)
+
+
+class TestTupleCostModel:
+    def test_ms_per_tuple(self):
+        row = TupleCostRow("e", "Q1", total_seconds=1.0, solutions=500)
+        assert row.ms_per_tuple == 2.0
+
+    def test_zero_solutions_guarded(self):
+        row = TupleCostRow("e", "Q1", total_seconds=1.0, solutions=0)
+        assert row.ms_per_tuple == 1000.0
+
+    def test_ratio(self):
+        report = TupleCostReport(
+            [
+                TupleCostRow("e", "Q1", 1.0, 1000),
+                TupleCostRow("e", "Q1b", 1.0, 250),
+            ]
+        )
+        assert report.ratio("e") == 4.0
+
+    def test_table_rows_include_ratios(self):
+        report = TupleCostReport(
+            [
+                TupleCostRow("e", "Q1", 1.0, 100),
+                TupleCostRow("e", "Q1b", 2.0, 100),
+            ]
+        )
+        rows = report.table_rows()
+        assert rows[-1][1] == "sym/asym ratio"
+        text = format_table(TUPLE_COST_HEADERS, rows)
+        assert "ms/tuple" in text
+
+
+class TestTupleCostHarness:
+    def test_end_to_end(self, bench, bench_db):
+        workload = generate_workload(
+            bench, WorkloadConfig(k=4, n_q1=2, seed=17)
+        )
+        engines = [RingKnnEngine(bench_db), RingKnnSEngine(bench_db)]
+        report = run_tuple_cost(
+            bench_db, workload["Q1"], workload["Q1b"], engines, timeout=30
+        )
+        assert len(report.rows) == 4
+        for engine in ("ring-knn", "ring-knn-s"):
+            assert report.ratio(engine) > 0

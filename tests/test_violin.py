@@ -1,0 +1,59 @@
+"""Tests for the ASCII violin rendering of Figure 2 distributions."""
+
+from repro.experiments.figure2 import EngineSeries, FamilyResult
+from repro.experiments.violin import render_family_violins, render_violin
+
+
+class TestRenderViolin:
+    def test_width_respected(self):
+        bar = render_violin([0.1, 0.2, 0.3], 0.01, 1.0, width=40)
+        assert len(bar) == 40
+
+    def test_markers_present(self):
+        bar = render_violin([0.1, 0.2, 0.9], 0.01, 1.0, width=40)
+        # Median and mean markers (merged marker when they coincide).
+        assert ("o" in bar and "x" in bar) or "8" in bar
+
+    def test_empty_series_blank(self):
+        assert render_violin([], 0.01, 1.0, width=10) == " " * 10
+
+    def test_cluster_position_tracks_magnitude(self):
+        fast = render_violin([0.01] * 10, 0.001, 10.0, width=40)
+        slow = render_violin([5.0] * 10, 0.001, 10.0, width=40)
+        assert fast.index("8") < slow.index("8")
+
+    def test_degenerate_axis(self):
+        bar = render_violin([0.5], 0.5, 0.5, width=20)
+        assert len(bar) == 20
+
+
+class TestRenderFamilyViolins:
+    def make_results(self):
+        return {
+            "Q1": FamilyResult(
+                "Q1",
+                {
+                    "baseline": EngineSeries(times=[1.0, 2.0, 4.0]),
+                    "ring-knn": EngineSeries(times=[0.2, 0.3, 0.5]),
+                },
+            )
+        }
+
+    def test_contains_rows_and_axis(self):
+        text = render_family_violins(self.make_results())
+        assert "log scale" in text
+        assert "Q1 baseline" in text.replace("  ", " ")
+        assert "ring-knn" in text
+
+    def test_empty_results(self):
+        assert "no measurements" in render_family_violins({})
+
+    def test_shared_axis_orders_engines(self):
+        text = render_family_violins(self.make_results(), width=60)
+        lines = [line for line in text.splitlines() if "|" in line]
+        base_bar = lines[0].split("|")[1]
+        ring_bar = lines[1].split("|")[1]
+        marker = lambda bar: min(
+            bar.index(c) for c in "ox8" if c in bar
+        )
+        assert marker(ring_bar) < marker(base_bar)

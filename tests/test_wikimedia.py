@@ -1,0 +1,72 @@
+"""Tests for the synthetic Wikimedia-like benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.wikimedia import WikimediaConfig, generate_benchmark
+from repro.utils.errors import ValidationError
+
+
+class TestGenerator:
+    def test_deterministic_in_seed(self):
+        cfg = WikimediaConfig(n_entities=50, n_images=30, n_misc_triples=200, K=5)
+        a = generate_benchmark(cfg)
+        b = generate_benchmark(cfg)
+        assert np.array_equal(a.graph.spo, b.graph.spo)
+        assert np.array_equal(
+            a.knn_graph.neighbor_table, b.knn_graph.neighbor_table
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_benchmark(WikimediaConfig(n_images=30, K=5, seed=1))
+        b = generate_benchmark(WikimediaConfig(n_images=30, K=5, seed=2))
+        assert not np.array_equal(a.graph.spo, b.graph.spo)
+
+    def test_every_image_is_depicted(self, bench):
+        for img in bench.image_ids:
+            assert len(bench.graph.matching(None, bench.depicts, int(img)))
+
+    def test_every_image_has_attributes_and_type(self, bench):
+        attr = bench.predicates["attr"]
+        for img in bench.image_ids:
+            assert len(bench.graph.matching(int(img), attr, None)) >= 1
+            assert len(
+                bench.graph.matching(int(img), bench.type_predicate, None)
+            ) == 1
+
+    def test_knn_members_are_the_images(self, bench):
+        assert np.array_equal(bench.knn_graph.members, bench.image_ids)
+
+    def test_id_spaces_disjoint(self, bench):
+        preds = set(bench.predicates.values())
+        assert preds.isdisjoint(set(bench.entity_ids.tolist()))
+        assert set(bench.entity_ids.tolist()).isdisjoint(
+            set(bench.image_ids.tolist())
+        )
+        assert set(bench.class_ids.tolist()).isdisjoint(
+            set(bench.literal_ids.tolist())
+        )
+
+    def test_image_class_consistent_with_type_triples(self, bench):
+        for img, cls in bench.image_class.items():
+            rows = bench.graph.matching(img, bench.type_predicate, None)
+            assert int(rows[0, 2]) == cls
+
+    def test_k_must_fit_images(self):
+        with pytest.raises(ValidationError):
+            generate_benchmark(WikimediaConfig(n_images=5, K=10))
+
+    def test_descriptor_shapes(self, bench):
+        assert bench.points.shape == (
+            bench.config.n_images,
+            bench.config.descriptor_dim,
+        )
+
+    def test_skewed_entity_degrees(self, bench):
+        """Zipf endpoints: the max entity degree should well exceed the
+        mean (long-tail shape, like Wikidata)."""
+        subjects = bench.graph.spo[:, 0]
+        entity_mask = np.isin(subjects, bench.entity_ids)
+        counts = np.bincount(subjects[entity_mask])
+        counts = counts[counts > 0]
+        assert counts.max() > 3 * counts.mean()

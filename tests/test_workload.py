@@ -1,0 +1,105 @@
+"""Tests for the Q1-Q5 workload generator (Sec. 6.1 construction rules)."""
+
+import pytest
+
+from repro.bounds.constraint_graph import ConstraintGraph
+from repro.datasets.workload import WorkloadConfig, generate_workload
+from repro.query.model import Var
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def workload(bench):
+    return generate_workload(
+        bench,
+        WorkloadConfig(k=4, n_q1=4, n_q2=3, n_q3=4, n_q4=3, n_q5=4, seed=9),
+    )
+
+
+class TestFamilies:
+    def test_all_families_present(self, workload):
+        assert set(workload) == {
+            "Q1", "Q1b", "Q2", "Q2b", "Q2t", "Q3", "Q4", "Q5",
+        }
+
+    def test_family_sizes(self, workload):
+        assert len(workload["Q1"]) == 4
+        assert len(workload["Q2"]) == 3
+        assert len(workload["Q4"]) == 3
+
+    def test_q1_one_directed_clause(self, workload):
+        for q in workload["Q1"]:
+            assert len(q.clauses) == 1
+            assert ConstraintGraph(q).is_acyclic()
+
+    def test_q1b_symmetric_pair(self, workload):
+        for q in workload["Q1b"]:
+            assert len(q.clauses) == 2
+            a, b = q.clauses
+            assert a.x == b.y and a.y == b.x
+            g = ConstraintGraph(q)
+            assert not g.is_acyclic()
+            assert g.is_single_2_cyclic()
+
+    def test_q2_chain(self, workload):
+        for q in workload["Q2"]:
+            assert len(q.clauses) == 2
+            assert ConstraintGraph(q).is_acyclic()
+            # Chain x -> y -> z shares the middle variable.
+            assert q.clauses[0].y == q.clauses[1].x
+
+    def test_q2b_two_cycles(self, workload):
+        for q in workload["Q2b"]:
+            assert len(q.clauses) == 4
+            assert not ConstraintGraph(q).is_acyclic()
+
+    def test_q2t_triangle(self, workload):
+        for q in workload["Q2t"]:
+            assert len(q.clauses) == 3
+            g = ConstraintGraph(q)
+            assert not g.is_acyclic()
+            assert not g.is_single_2_cyclic()
+
+    def test_q3_extends_with_similar_pair(self, workload, bench):
+        for q in workload["Q3"]:
+            assert len(q.clauses) == 1
+            clause = q.clauses[0]
+            assert clause.x == Var("y") and clause.y == Var("y2")
+            # Both y and y' are objects of depicts triples sharing x.
+            depicts = [t for t in q.triples if t.p == bench.depicts]
+            assert len(depicts) == 2
+            assert depicts[0].s == depicts[1].s
+
+    def test_q4_copies_all_y_triples(self, workload):
+        for q in workload["Q4"]:
+            y_triples = [t for t in q.triples if Var("y") in t.variables]
+            y2_triples = [t for t in q.triples if Var("y2") in t.variables]
+            assert len(y_triples) >= 2  # "participates in more than one"
+            assert len(y_triples) == len(y2_triples)
+
+    def test_q5_has_lonely_variables(self, workload):
+        for q in workload["Q5"]:
+            lonely = set(q.lonely_variables())
+            assert Var("l1") in lonely and Var("l2") in lonely
+
+    def test_deterministic(self, bench):
+        cfg = WorkloadConfig(k=4, n_q1=3, seed=42)
+        assert generate_workload(bench, cfg) == generate_workload(bench, cfg)
+
+    def test_k_bound_checked(self, bench):
+        with pytest.raises(ValidationError):
+            generate_workload(bench, WorkloadConfig(k=100))
+
+
+class TestNonEmptiness:
+    def test_base_patterns_are_satisfiable(self, workload, bench_db):
+        """The mined q_{x} snippets must individually match the graph
+        (family semantics then decide whether the join is empty)."""
+        from repro.engines.ring_knn import RingKnnSEngine
+        from repro.query.model import ExtendedBGP
+
+        engine = RingKnnSEngine(bench_db)
+        for q in workload["Q1"]:
+            base = ExtendedBGP(list(q.triples))
+            result = engine.evaluate(base, timeout=30)
+            assert result.solutions, q
