@@ -1,0 +1,129 @@
+"""Overhead of the observability layer on the Figure-2 workload.
+
+Two claims are measured:
+
+* **disabled** — with ``trace=None`` (the default) every recording site
+  reduces to an ``is not None`` guard. The guard cost is
+  micro-benchmarked directly and scaled by the number of recording-site
+  hits a traced run reports, which upper-bounds the disabled overhead
+  as a fraction of query time; it must stay under 3%.
+* **enabled** — a full :class:`~repro.obs.trace.QueryTrace` run is
+  timed against the disabled run (interleaved, min-of-rounds) and the
+  slowdown reported. Tracing does real work, so this is informational,
+  but it should stay within a small constant factor.
+
+Results are written to ``benchmarks/results/trace_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import QUERY_TIMEOUT, write_results
+from repro.engines.ring_knn import RingKnnEngine
+from repro.experiments.report import format_table
+from repro.obs import QueryTrace
+
+ROUNDS = 3
+GUARD_LOOP = 1_000_000
+MAX_DISABLED_OVERHEAD = 0.03
+
+# Recording sites hit per traced event. Each leap/bind touches the
+# per-variable counter, the relation counter, and (for ring/K-NN
+# relations) a wavelet recorder; 4 guards per event is a safe ceiling.
+GUARDS_PER_EVENT = 4
+
+
+def _run_workload(engine, queries, trace_factory):
+    start = time.perf_counter()
+    for query in queries:
+        engine.evaluate(query, timeout=QUERY_TIMEOUT, trace=trace_factory())
+    return time.perf_counter() - start
+
+
+def _guard_cost_per_hit() -> float:
+    """Time one ``x is not None`` check (the whole disabled path)."""
+
+    def loop(obs):
+        hits = 0
+        start = time.perf_counter()
+        for _ in range(GUARD_LOOP):
+            if obs is not None:
+                hits += 1
+        return time.perf_counter() - start
+
+    # Warm up, then take the best of a few rounds of (guard - baseline).
+    loop(None)
+    guarded = min(loop(None) for _ in range(ROUNDS))
+    trivial = min(loop(0) for _ in range(ROUNDS))  # same loop, branch taken
+    return max(guarded, trivial) / GUARD_LOOP
+
+
+def test_trace_overhead(benchmark, database, workload):
+    engine = RingKnnEngine(database)
+    queries = [q for family in workload.values() for q in family]
+
+    # Interleave disabled/enabled rounds so drift hits both equally.
+    disabled, enabled = [], []
+    for _ in range(ROUNDS):
+        disabled.append(_run_workload(engine, queries, lambda: None))
+        enabled.append(_run_workload(engine, queries, QueryTrace))
+    benchmark.pedantic(
+        lambda: _run_workload(engine, queries, lambda: None),
+        rounds=1,
+        iterations=1,
+    )
+    disabled_s = min(disabled)
+    enabled_s = min(enabled)
+    enabled_overhead = enabled_s / disabled_s - 1.0
+
+    # Count the recording-site hits a traced run of the workload makes.
+    events = 0
+    for query in queries:
+        trace = QueryTrace()
+        engine.evaluate(query, timeout=QUERY_TIMEOUT, trace=trace)
+        totals = trace.stats or {}
+        events += (
+            totals.get("leap_calls", 0)
+            + totals.get("attempts", 0)
+            + totals.get("bindings", 0)
+        )
+        events += sum(ops.total for ops in trace.wavelets.values())
+    guard_s = _guard_cost_per_hit()
+    disabled_overhead = (guard_s * events * GUARDS_PER_EVENT) / disabled_s
+
+    benchmark.extra_info["disabled_s"] = disabled_s
+    benchmark.extra_info["enabled_s"] = enabled_s
+    benchmark.extra_info["enabled_overhead"] = enabled_overhead
+    benchmark.extra_info["disabled_overhead_bound"] = disabled_overhead
+    write_results(
+        "trace_overhead",
+        format_table(
+            ["mode", "workload time (s)", "overhead vs disabled"],
+            [
+                ["trace=None (disabled)", round(disabled_s, 3), "-"],
+                [
+                    "QueryTrace (enabled)",
+                    round(enabled_s, 3),
+                    f"{enabled_overhead:+.1%}",
+                ],
+                [
+                    "disabled guard bound",
+                    round(guard_s * events * GUARDS_PER_EVENT, 4),
+                    f"{disabled_overhead:.2%} of disabled time",
+                ],
+            ],
+            title=(
+                "Tracing overhead on the Figure-2 workload "
+                f"({len(queries)} queries, ring-knn, min of {ROUNDS})"
+            ),
+        ),
+    )
+
+    assert disabled_overhead <= MAX_DISABLED_OVERHEAD, (
+        f"disabled-tracing guard bound {disabled_overhead:.2%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.0%} of query time"
+    )
+    # Enabled tracing does real counting work; it must still be in the
+    # same ballpark, not a step change.
+    assert enabled_s <= disabled_s * 2.0, (disabled_s, enabled_s)

@@ -4,19 +4,25 @@ Subcommands::
 
     repro generate  --out bench.npz [--entities N --images N --k K ...]
     repro query     --data bench.npz --query "(?x, 0, ?y) . knn(?x, ?y, 5)"
-    repro explain   --data bench.npz --query "..." [--engine ring-knn]
+    repro explain   --data bench.npz --query "..." [--engine ring-knn --analyze]
+    repro trace     --data bench.npz --query "..." [--engine auto --out t.json]
     repro figure2   --timeout 15 [--scale flags]
     repro figure3   [--dataset anuran|drybean --scale 0.12 --K 40]
     repro space     [--scale flags]
 
 ``generate`` writes an ``.npz`` bundle (see :mod:`repro.graph.io`);
-``query``/``explain`` read one. The figure subcommands regenerate the
-paper artifacts at a configurable scale and print the tables.
+``query``/``explain``/``trace`` read one. ``trace`` evaluates the query
+under a :class:`~repro.obs.trace.QueryTrace` and emits the
+schema-validated JSON document (:mod:`repro.obs.schema`) that
+:mod:`repro.obs.diff` can compare across runs. The figure subcommands
+regenerate the paper artifacts at a configurable scale and print the
+tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.datasets.classification import make_anuran_like, make_drybean_like
@@ -34,6 +40,7 @@ from repro.experiments.report import format_table
 from repro.experiments.space import SPACE_HEADERS, run_space_comparison
 from repro.graph.io import load_bundle, save_bundle
 from repro.explain import explain
+from repro.obs import QueryTrace, validate_trace
 from repro.query.parser import parse_query
 
 ENGINES = {
@@ -108,7 +115,34 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     db = _load_db(args.data)
     query = parse_query(args.query)
-    print(explain(db, query, engine=args.engine).format())
+    report = explain(
+        db,
+        query,
+        engine=args.engine,
+        analyze=args.analyze,
+        timeout=args.timeout,
+    )
+    print(report.format())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    db = _load_db(args.data)
+    query = parse_query(args.query)
+    engine = ENGINES[args.engine](db)
+    trace = QueryTrace(query=args.query)
+    engine.evaluate(
+        query, timeout=args.timeout, limit=args.limit, trace=trace
+    )
+    document = trace.to_dict()
+    validate_trace(document)
+    text = json.dumps(document, indent=args.indent, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
     return 0
 
 
@@ -212,7 +246,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--engine", choices=["ring-knn", "ring-knn-s"], default="ring-knn"
     )
+    p.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE: execute the query and report the "
+        "observed leap/intersection/binding counters and phase timings",
+    )
+    p.add_argument("--timeout", type=float, default=60.0)
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "trace", help="evaluate a query and emit its JSON trace"
+    )
+    p.add_argument("--data", required=True, help=".npz bundle")
+    p.add_argument("--query", required=True)
+    p.add_argument("--engine", choices=sorted(ENGINES), default="auto")
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--out", default=None, help="write JSON here (else stdout)")
+    p.add_argument("--indent", type=int, default=2)
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("figure2", help="regenerate Figure 2")
     _add_scale_flags(p)

@@ -45,11 +45,26 @@ class AutoEngine:
         query: ExtendedBGP,
         timeout: float | None = None,
         limit: int | None = None,
+        trace: object | None = None,
     ) -> QueryResult:
         """Evaluate with the per-query selected strategy.
 
-        The result's ``engine`` field names the strategy actually used.
+        The result's ``engine`` field names the strategy actually used;
+        with ``trace``, the selection and its reason land in
+        ``trace.meta["auto"]``.
         """
-        if self.select(query) == self._ring_knn_s.name:
-            return self._ring_knn_s.evaluate(query, timeout=timeout, limit=limit)
-        return self._ring_knn.evaluate(query, timeout=timeout, limit=limit)
+        selected = self.select(query)
+        if trace is not None:
+            n_constraints = len(query.clauses) + len(query.dist_clauses)
+            trace.meta["auto"] = {
+                "selected": selected,
+                "constraints": n_constraints,
+                "acyclic": ConstraintGraph(query).is_acyclic(),
+            }
+        if selected == self._ring_knn_s.name:
+            return self._ring_knn_s.evaluate(
+                query, timeout=timeout, limit=limit, trace=trace
+            )
+        return self._ring_knn.evaluate(
+            query, timeout=timeout, limit=limit, trace=trace
+        )

@@ -25,6 +25,7 @@ from repro.ltj.engine import LTJEngine
 from repro.ltj.ordering import MinCandidatesOrdering
 from repro.ltj.stats import EvaluationStats
 from repro.ltj.triple_relation import RingTripleRelation
+from repro.obs.trace import attach_wavelets, instrument_relations, wavelet_targets
 from repro.query.model import DistClause, ExtendedBGP, SimClause, Var, is_var
 from repro.utils.errors import QueryError
 from repro.utils.timing import Stopwatch
@@ -81,8 +82,15 @@ class BaselineEngine:
         query: ExtendedBGP,
         timeout: float | None = None,
         limit: int | None = None,
+        trace: object | None = None,
     ) -> QueryResult:
-        """Run both phases, sharing one time budget."""
+        """Run both phases, sharing one time budget.
+
+        With ``trace``, the BGP phase records the usual LTJ counters and
+        the split between the two phases lands in ``trace.phases`` (the
+        post-processing phase does no leapfrog work, so its cost shows
+        up there and nowhere else).
+        """
         self._check_supported(query)
         stopwatch = Stopwatch(timeout)
         # Phase 1: classic LTJ over the triples only.
@@ -90,7 +98,10 @@ class BaselineEngine:
             RingTripleRelation(self._db.ring, t) for t in query.triples
         ]
         ltj = LTJEngine(
-            relations, ordering=MinCandidatesOrdering(), timeout=timeout
+            relations,
+            ordering=MinCandidatesOrdering(),
+            timeout=timeout,
+            trace=trace,
         )
         stats = EvaluationStats()
         stats.sim_variables = frozenset(
@@ -98,24 +109,41 @@ class BaselineEngine:
             for clause in (*query.clauses, *query.dist_clauses)
             for v in clause.variables
         )
+        if trace is not None:
+            trace.engine = self.name
+            if trace.query is None:
+                trace.query = repr(query)
+            instrument_relations(trace, relations)
         solutions: list[dict[Var, int]] = []
         base_count = 0
-        phase1 = 0.0
-        for base in ltj.run():
-            base_count += 1
-            self._postprocess(
-                base,
-                list(query.clauses),
-                list(query.dist_clauses),
-                solutions,
-                stopwatch,
-                limit,
-            )
-            if stopwatch.expired():
-                stats.timed_out = True
-                break
-            if limit is not None and len(solutions) >= limit:
-                break
+        wavelets = (
+            attach_wavelets(wavelet_targets(trace, self._db, query))
+            if trace is not None
+            else None
+        )
+        run = ltj.run()
+        try:
+            if wavelets is not None:
+                wavelets.__enter__()
+            for base in run:
+                base_count += 1
+                self._postprocess(
+                    base,
+                    list(query.clauses),
+                    list(query.dist_clauses),
+                    solutions,
+                    stopwatch,
+                    limit,
+                )
+                if stopwatch.expired():
+                    stats.timed_out = True
+                    break
+                if limit is not None and len(solutions) >= limit:
+                    break
+        finally:
+            run.close()
+            if wavelets is not None:
+                wavelets.__exit__(None, None, None)
         phase1 = ltj.stats.elapsed
         stats.timed_out = stats.timed_out or ltj.stats.timed_out
         stats.bindings = ltj.stats.bindings
@@ -124,6 +152,11 @@ class BaselineEngine:
         stats.first_descent_order = ltj.stats.first_descent_order
         stats.solutions = len(solutions)
         stats.elapsed = stopwatch.elapsed()
+        if trace is not None:
+            trace.add_phase("bgp", phase1)
+            trace.add_phase("postprocess", stats.elapsed - phase1)
+            trace.meta["base_solutions"] = base_count
+            trace.finish(stats)
         return QueryResult(
             self.name,
             solutions,
@@ -133,6 +166,7 @@ class BaselineEngine:
                 "postprocess": stats.elapsed - phase1,
                 "base_solutions": float(base_count),
             },
+            trace=trace,
         )
 
     # ------------------------------------------------------------------

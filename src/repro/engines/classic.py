@@ -19,6 +19,7 @@ from repro.ltj.engine import LTJEngine
 from repro.ltj.knn_relation import KnnClauseRelation
 from repro.ltj.ordering import ConstraintAwareOrdering
 from repro.ltj.sixperm_relation import SixPermTripleRelation
+from repro.obs.trace import attach_wavelets, instrument_relations, wavelet_targets
 from repro.query.model import ExtendedBGP
 
 
@@ -55,15 +56,29 @@ class ClassicSixPermEngine:
         query: ExtendedBGP,
         timeout: float | None = None,
         limit: int | None = None,
+        trace: object | None = None,
     ) -> QueryResult:
+        relations = self.compile(query)
         engine = LTJEngine(
-            self.compile(query),
+            relations,
             ordering=ConstraintAwareOrdering(),
             timeout=timeout,
             limit=limit,
+            trace=trace,
         )
-        solutions = engine.evaluate()
-        return QueryResult(self.name, solutions, engine.stats)
+        if trace is None:
+            solutions = engine.evaluate()
+            return QueryResult(self.name, solutions, engine.stats)
+        trace.engine = self.name
+        if trace.query is None:
+            trace.query = repr(query)
+        instrument_relations(trace, relations)
+        # Six-permutation triple patterns run over sorted arrays, not
+        # wavelet trees, so only the K-NN/distance structures apply.
+        pairs = wavelet_targets(trace, self._db, query, include_ring=False)
+        with attach_wavelets(pairs), trace.phase("evaluate"):
+            solutions = engine.evaluate()
+        return QueryResult(self.name, solutions, engine.stats, trace=trace)
 
     def size_in_bytes(self) -> int:
         """Index footprint (six permutations + succinct K-NN)."""

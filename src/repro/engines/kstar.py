@@ -50,6 +50,7 @@ def evaluate_k_star(
     k_star: int,
     max_k: int,
     timeout: float | None = None,
+    trace: object | None = None,
 ) -> KStarResult:
     """Find the smallest ``k <= max_k`` yielding ``>= k_star`` solutions.
 
@@ -60,6 +61,11 @@ def evaluate_k_star(
         k_star: requested number of results.
         max_k: the construction-time ``K`` bound.
         timeout: per-evaluation time budget.
+        trace: optional :class:`~repro.obs.trace.QueryTrace`. The search
+            itself runs untraced (a single trace would smear counters
+            across evaluations at different ``k``); the winning ``k`` is
+            then re-evaluated once with the trace attached, and the
+            search shape lands in ``trace.meta["kstar"]``.
 
     Returns:
         The minimal-k solutions, or the ``max_k`` solutions flagged
@@ -76,6 +82,25 @@ def evaluate_k_star(
         evaluations += 1
         return engine.evaluate(_with_k(query, k), timeout=timeout).solutions
 
+    def traced(result: KStarResult) -> KStarResult:
+        if trace is None:
+            return result
+        nonlocal evaluations
+        evaluations += 1
+        engine.evaluate(
+            _with_k(query, result.k), timeout=timeout, trace=trace
+        )
+        trace.meta["kstar"] = {
+            "k": result.k,
+            "k_star": k_star,
+            "max_k": max_k,
+            "satisfied": result.satisfied,
+            "evaluations": evaluations,
+        }
+        return KStarResult(
+            result.k, result.solutions, result.satisfied, evaluations
+        )
+
     # Doubling phase: find some sufficient k.
     k = 1
     best: list[dict[Var, int]] | None = None
@@ -86,7 +111,9 @@ def evaluate_k_star(
             break
         k = min(k * 2, max_k) if k < max_k else max_k + 1
     if best is None:
-        return KStarResult(max_k, solutions_at(max_k), False, evaluations)
+        return traced(
+            KStarResult(max_k, solutions_at(max_k), False, evaluations)
+        )
 
     # Binary search the minimal sufficient k in (k/2, k].
     lo = max(1, (k // 2) + 1) if k > 1 else 1
@@ -99,4 +126,4 @@ def evaluate_k_star(
             best, best_k, hi = sols, mid, mid
         else:
             lo = mid + 1
-    return KStarResult(best_k, best, True, evaluations)
+    return traced(KStarResult(best_k, best, True, evaluations))

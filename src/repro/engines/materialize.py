@@ -23,6 +23,7 @@ from repro.graph.triples import GraphData
 from repro.ltj.engine import LTJEngine
 from repro.ltj.ordering import MinCandidatesOrdering
 from repro.ltj.triple_relation import RingTripleRelation
+from repro.obs.trace import attach_wavelets, instrument_relations
 from repro.query.model import ExtendedBGP, TriplePattern
 from repro.ring.index import RingIndex
 from repro.utils.errors import QueryError
@@ -41,6 +42,7 @@ class MaterializeEngine:
         query: ExtendedBGP,
         timeout: float | None = None,
         limit: int | None = None,
+        trace: object | None = None,
     ) -> QueryResult:
         self._db.validate_query(query)
         if query.dist_clauses:
@@ -92,10 +94,33 @@ class MaterializeEngine:
             ordering=MinCandidatesOrdering(),
             timeout=remaining,
             limit=limit,
+            trace=trace,
         )
-        solutions = engine.evaluate()
+        if trace is None:
+            solutions = engine.evaluate()
+        else:
+            trace.engine = self.name
+            if trace.query is None:
+                trace.query = repr(query)
+            trace.add_phase("materialize", materialize_seconds)
+            trace.meta["materialized_pairs"] = len(extra_triples)
+            instrument_relations(trace, relations)
+            # Two Rings are live here: the data Ring and the fresh Ring
+            # over the materialized kNN pairs.
+            pairs = [
+                (self._db.ring.column(c), trace.wavelet("ring"))
+                for c in "spo"
+            ]
+            pairs.extend(
+                (knn_ring.column(c), trace.wavelet("materialized_ring"))
+                for c in "spo"
+            )
+            with attach_wavelets(pairs), trace.phase("query"):
+                solutions = engine.evaluate()
         stats = engine.stats
         stats.elapsed += materialize_seconds
+        if trace is not None:
+            trace.finish(stats)
         return QueryResult(
             self.name,
             solutions,
@@ -105,4 +130,5 @@ class MaterializeEngine:
                 "query": stats.elapsed - materialize_seconds,
                 "materialized_pairs": float(len(extra_triples)),
             },
+            trace=trace,
         )

@@ -24,6 +24,10 @@ class QueryResult:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     """Per-phase wall-clock breakdown (e.g. ``materialize`` vs ``query``)."""
 
+    trace: object | None = None
+    """The :class:`~repro.obs.trace.QueryTrace` passed to ``evaluate``
+    (None when tracing was off)."""
+
     @property
     def elapsed(self) -> float:
         """Total wall-clock seconds."""

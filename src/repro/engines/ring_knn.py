@@ -14,6 +14,8 @@ They differ *only* in the variable-ordering strategy:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 from repro.engines.database import GraphDatabase
 from repro.engines.result import QueryResult
 from repro.ltj.distance_relation import DistanceClauseRelation
@@ -25,6 +27,7 @@ from repro.ltj.ordering import (
     OrderingStrategy,
 )
 from repro.ltj.triple_relation import RingTripleRelation
+from repro.obs.trace import attach_wavelets, instrument_relations, wavelet_targets
 from repro.query.model import ExtendedBGP
 
 
@@ -71,6 +74,7 @@ class _RingEngineBase:
         limit: int | None = None,
         project: list | None = None,
         distinct: bool = False,
+        trace: object | None = None,
     ) -> QueryResult:
         """Run the query, returning solutions and instrumentation.
 
@@ -81,30 +85,63 @@ class _RingEngineBase:
             project: keep only these variables in each solution
                 (SPARQL SELECT-style projection).
             distinct: deduplicate the (projected) solutions.
+            trace: optional :class:`~repro.obs.trace.QueryTrace`. When
+                given, per-variable/relation/wavelet counters are
+                recorded and the trace is attached to the result.
         """
+        relations = self.compile(query)
         engine = LTJEngine(
-            self.compile(query),
+            relations,
             ordering=self._ordering(query),
             timeout=timeout,
             limit=None if (project and distinct) else limit,
+            trace=trace,
         )
+        if trace is None:
+            attached = nullcontext()
+        else:
+            trace.engine = self.name
+            if trace.query is None:
+                trace.query = repr(query)
+            instrument_relations(trace, relations)
+            attached = attach_wavelets(wavelet_targets(trace, self._db, query))
+        with attached:
+            timed = nullcontext() if trace is None else trace.phase("evaluate")
+            with timed:
+                solutions = self._collect(engine, project, distinct, limit)
+        return QueryResult(self.name, solutions, engine.stats, trace=trace)
+
+    @staticmethod
+    def _collect(
+        engine: LTJEngine,
+        project: list | None,
+        distinct: bool,
+        limit: int | None,
+    ) -> list[dict]:
         if not project and not distinct:
-            solutions = engine.evaluate()
-            return QueryResult(self.name, solutions, engine.stats)
-        solutions = []
+            return engine.evaluate()
+        solutions: list[dict] = []
         seen: set[tuple] = set()
-        for solution in engine.run():
-            if project:
-                solution = {v: solution[v] for v in project}
-            if distinct:
-                key = tuple(sorted((v.name, c) for v, c in solution.items()))
-                if key in seen:
-                    continue
-                seen.add(key)
-            solutions.append(solution)
-            if limit is not None and len(solutions) >= limit:
-                break
-        return QueryResult(self.name, solutions, engine.stats)
+        run = engine.run()
+        try:
+            for solution in run:
+                if project:
+                    solution = {v: solution[v] for v in project}
+                if distinct:
+                    key = tuple(
+                        sorted((v.name, c) for v, c in solution.items())
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                solutions.append(solution)
+                if limit is not None and len(solutions) >= limit:
+                    break
+        finally:
+            # Deterministically finalize engine.stats (the generator's
+            # `finally` runs on close, not only on exhaustion).
+            run.close()
+        return solutions
 
 
 class RingKnnEngine(_RingEngineBase):

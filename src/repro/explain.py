@@ -18,6 +18,12 @@ most of what a user wants to know *is* static or cheaply probed:
 
 :func:`explain` gathers these into a :class:`PlanReport`, and
 ``PlanReport.format()`` renders a human-readable summary.
+
+With ``analyze=True`` (EXPLAIN ANALYZE), the query is additionally
+*executed* under a :class:`~repro.obs.trace.QueryTrace` and the report
+carries — and renders — the observed counters: per-variable leaps,
+intersection members, bindings; per-atom backend detail; wavelet-tree
+operation counts; phase timings; the ordering decisions actually taken.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from repro.bounds.linear_program import solve_size_bound
 from repro.engines.database import GraphDatabase
 from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
 from repro.ltj.engine import LTJEngine
+from repro.obs.trace import QueryTrace
 from repro.query.model import ExtendedBGP, Var
 
 
@@ -57,6 +64,9 @@ class PlanReport:
 
     probe_solutions_found: int = 0
     notes: list[str] = field(default_factory=list)
+
+    analysis: QueryTrace | None = None
+    """Execution trace when :func:`explain` ran with ``analyze=True``."""
 
     def format(self) -> str:
         """Render as an indented text report."""
@@ -88,7 +98,62 @@ class PlanReport:
             )
         for note in self.notes:
             lines.append(f"  note: {note}")
+        if self.analysis is not None:
+            lines.extend(_format_analysis(self.analysis))
         return "\n".join(lines)
+
+
+def _format_analysis(trace: QueryTrace) -> list[str]:
+    """Render an execution trace as EXPLAIN ANALYZE report lines."""
+    status = " [TIMED OUT]" if trace.timed_out else ""
+    lines = [
+        f"  analyze ({trace.engine}): {trace.solutions} solutions "
+        f"in {trace.elapsed:.4f}s{status}"
+    ]
+    stats = trace.stats
+    if stats:
+        lines.append(
+            "    totals: "
+            f"leaps={stats.get('leap_calls', 0)} "
+            f"candidates={stats.get('attempts', 0)} "
+            f"bindings={stats.get('bindings', 0)}"
+        )
+    for name, seconds in trace.phases.items():
+        lines.append(f"    phase {name}: {seconds:.4f}s")
+    for v, c in trace.variables.items():
+        lines.append(
+            f"    var {v!r}: leaps={c.leaps} candidates={c.candidates} "
+            f"bindings={c.bindings} failed={c.failed_bindings} "
+            f"chosen={c.times_chosen} fanout={c.fanout}"
+        )
+    for rel in trace.relations:
+        detail = ", ".join(
+            f"{key}={count}" for key, count in sorted(rel.detail.items())
+        )
+        lines.append(
+            f"    atom {rel.label} [{rel.kind}]: leaps={rel.leaps} "
+            f"binds={rel.binds} failed={rel.failed_binds}"
+            + (f" ({detail})" if detail else "")
+        )
+    for label, ops in trace.wavelets.items():
+        lines.append(
+            f"    wavelet {label}: total={ops.total} rank={ops.rank} "
+            f"select={ops.select} access={ops.access} "
+            f"range_next={ops.range_next} range_count={ops.range_count}"
+        )
+    for decision in trace.decisions:
+        lines.append(
+            f"    step {decision.depth}: chose ?{decision.variable} "
+            f"[{decision.reason}]"
+        )
+    if trace.decisions_dropped:
+        lines.append(
+            f"    ... {trace.decisions_dropped} further ordering "
+            "decisions not shown"
+        )
+    for key, value in trace.meta.items():
+        lines.append(f"    meta {key}: {value}")
+    return lines
 
 
 def explain(
@@ -96,8 +161,10 @@ def explain(
     query: ExtendedBGP,
     engine: str = "ring-knn",
     probe: bool = True,
+    analyze: bool = False,
+    timeout: float | None = None,
 ) -> PlanReport:
-    """Analyze a query without fully evaluating it.
+    """Analyze a query — statically, or (``analyze``) by executing it.
 
     Args:
         db: the indexed database.
@@ -105,6 +172,10 @@ def explain(
         engine: ``"ring-knn"`` or ``"ring-knn-s"``.
         probe: run a limit-1 evaluation to capture the actual first
             elimination order (cheap for non-pathological queries).
+        analyze: EXPLAIN ANALYZE — run the query to completion under a
+            :class:`QueryTrace` and attach the observed counters as
+            ``report.analysis`` (rendered by ``format()``).
+        timeout: time budget for the ``analyze`` run.
     """
     engine_cls = {"ring-knn": RingKnnEngine, "ring-knn-s": RingKnnSEngine}[
         engine
@@ -169,4 +240,8 @@ def explain(
         solutions = probe_engine.evaluate()
         report.probe_order = tuple(probe_engine.stats.first_descent_order)
         report.probe_solutions_found = len(solutions)
+    if analyze:
+        trace = QueryTrace(query=repr(query))
+        driver.evaluate(query, timeout=timeout, trace=trace)
+        report.analysis = trace
     return report

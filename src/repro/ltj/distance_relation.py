@@ -22,6 +22,9 @@ class DistanceClauseRelation:
         self._index = index
         self._clause = clause
         self._d = float(clause.d)
+        self.obs = None
+        """Optional :class:`repro.obs.trace.RelationCounters`; detail
+        keys name the distance-index primitive used per call."""
         self._values: dict[str, int | None] = {"x": None, "y": None}
         self._undo: list[str] = []
         self._failed_depth: int | None = None
@@ -69,8 +72,15 @@ class DistanceClauseRelation:
         if self._values[side] is not None:
             raise StructureError(f"{var!r} is already bound")
         anchor = self._values[self._other(side)]
+        obs = self.obs
+        if obs is not None:
+            obs.leaps += 1
         if anchor is not None:
+            if obs is not None:
+                obs.bump("leap_within")
             return self._index.leap_within(anchor, self._d, lower)
+        if obs is not None:
+            obs.bump("leap_member")
         return self._index.next_member(lower)
 
     def bind(self, var: Var, value: int) -> bool:
@@ -78,14 +88,26 @@ class DistanceClauseRelation:
         anchor = self._values[self._other(side)]
         self._values[side] = value
         self._undo.append(side)
+        obs = self.obs
         if self._failed_depth is not None:
+            if obs is not None:
+                obs.failed_binds += 1
             return False
         if anchor is None:
+            if obs is not None:
+                obs.bump("count_within")
             ok = self._index.count_within(value, self._d) > 0
         else:
+            if obs is not None:
+                obs.bump("contains")
             ok = self._index.contains(anchor, value, self._d)
         if not ok:
             self._failed_depth = len(self._undo)
+        if obs is not None:
+            if ok:
+                obs.binds += 1
+            else:
+                obs.failed_binds += 1
         return ok
 
     def unbind(self, var: Var) -> None:
@@ -93,6 +115,8 @@ class DistanceClauseRelation:
         if not self._undo or self._undo[-1] != side:
             raise StructureError(f"unbind({var!r}) out of order")
         self._undo.pop()
+        if self.obs is not None:
+            self.obs.unbinds += 1
         self._values[side] = None
         if self._failed_depth is not None and self._failed_depth > len(self._undo):
             self._failed_depth = None
@@ -100,6 +124,8 @@ class DistanceClauseRelation:
     def estimate(self, var: Var) -> int:
         """Per-binding candidate count (the data-dependent ``k`` the
         paper notes the algorithm knows and can use for ordering)."""
+        if self.obs is not None:
+            self.obs.estimates += 1
         side = self._side_of(var)
         anchor = self._values[self._other(side)]
         if anchor is not None:

@@ -33,6 +33,7 @@ class LTJEngine:
         timeout: float | None = None,
         limit: int | None = None,
         intersection: str = "leapfrog",
+        trace: object | None = None,
     ) -> None:
         """Set up an evaluation.
 
@@ -48,6 +49,11 @@ class LTJEngine:
                 largest one) or ``"roundrobin"`` (repeated passes until a
                 fixpoint). Both are correct; leapfrog issues fewer
                 ``leap`` calls on skewed intersections.
+            trace: optional :class:`repro.obs.trace.QueryTrace` recording
+                per-variable leap/candidate/binding counters and ordering
+                decisions. ``None`` (default) disables tracing; every
+                recording site is guarded by a single ``is not None``
+                test so the disabled path stays hot-loop cheap.
         """
         if not relations:
             raise QueryError("LTJ requires at least one relation")
@@ -60,6 +66,7 @@ class LTJEngine:
         self._timeout = timeout
         self._limit = limit
         self._intersection = intersection
+        self._trace = trace
         self._variables: tuple[Var, ...] = self._collect_variables()
         self._atom_count = {
             v: sum(1 for r in self._relations if v in r.variables)
@@ -101,6 +108,9 @@ class LTJEngine:
 
         Stops early (without raising) when the timeout expires or the
         solution limit is reached; check ``self.stats`` afterwards.
+        Stats are finalized in a ``finally`` block, so they are valid
+        even when the consumer abandons the generator before exhaustion
+        (early ``break``, ``close()``, garbage collection).
         """
         stopwatch = Stopwatch(self._timeout)
         self.stats = EvaluationStats()
@@ -110,15 +120,18 @@ class LTJEngine:
             if self._is_similarity(r)
             for v in r.variables
         )
-        if any(r.is_empty() for r in self._relations):
-            self.stats.elapsed = stopwatch.elapsed()
-            return
-        assignment: dict[Var, int] = {}
         try:
-            yield from self._search(assignment, stopwatch, first_descent=True)
+            if not any(r.is_empty() for r in self._relations):
+                assignment: dict[Var, int] = {}
+                yield from self._search(
+                    assignment, stopwatch, first_descent=True
+                )
         except _Expired:
             self.stats.timed_out = True
-        self.stats.elapsed = stopwatch.elapsed()
+        finally:
+            self.stats.elapsed = stopwatch.elapsed()
+            if self._trace is not None:
+                self._trace.finish(self.stats)
 
     def evaluate(self) -> list[dict[Var, int]]:
         """Collect all solutions into a list (see :meth:`run`)."""
@@ -135,16 +148,29 @@ class LTJEngine:
             self.stats.solutions += 1
             yield dict(assignment)
             return
-        var = self._ordering.choose(self._context(assignment))
+        context = self._context(assignment)
+        var = self._ordering.choose(context)
         if first_descent:
             self.stats.first_descent_order.append(var)
         atoms = [r for r in self._relations if var in r.free_variables]
+        vc = None
+        if self._trace is not None:
+            self._trace.record_decision(
+                len(assignment),
+                var,
+                context.estimates,
+                self._ordering.describe(context, var),
+            )
+            vc = self._trace.var(var)
+            vc.fanout = max(vc.fanout, len(atoms))
         candidate = 0
         while True:
-            candidate = self._leapfrog(atoms, var, candidate)
+            candidate = self._leapfrog(atoms, var, candidate, vc)
             if candidate is None:
                 return
             self.stats.attempts += 1
+            if vc is not None:
+                vc.candidates += 1
             if self.stats.attempts % _TIMEOUT_CHECK_INTERVAL == 0:
                 if stopwatch.expired():
                     raise _Expired()
@@ -155,6 +181,11 @@ class LTJEngine:
                 if not relation.bind(var, candidate):
                     ok = False
                     break
+            if vc is not None:
+                if ok:
+                    vc.bindings += 1
+                else:
+                    vc.failed_bindings += 1
             if ok:
                 self.stats.bindings += 1
                 assignment[var] = candidate
@@ -173,17 +204,25 @@ class LTJEngine:
             candidate += 1
 
     def _leapfrog(
-        self, atoms: list[object], var: Var, lower: int
+        self,
+        atoms: list[object],
+        var: Var,
+        lower: int,
+        vc: object | None = None,
     ) -> int | None:
         """Smallest value ``>= lower`` admitted by every atom, or None."""
         if not atoms:
             raise QueryError(f"variable {var!r} occurs in no relation")
         if self._intersection == "leapfrog":
-            return self._leapfrog_sorted(atoms, var, lower)
-        return self._leapfrog_roundrobin(atoms, var, lower)
+            return self._leapfrog_sorted(atoms, var, lower, vc)
+        return self._leapfrog_roundrobin(atoms, var, lower, vc)
 
     def _leapfrog_roundrobin(
-        self, atoms: list[object], var: Var, lower: int
+        self,
+        atoms: list[object],
+        var: Var,
+        lower: int,
+        vc: object | None = None,
     ) -> int | None:
         """Repeated passes over all atoms until a full pass agrees."""
         candidate = lower
@@ -191,6 +230,8 @@ class LTJEngine:
             advanced = False
             for relation in atoms:
                 self.stats.leap_calls += 1
+                if vc is not None:
+                    vc.leaps += 1
                 value = relation.leap(var, candidate)
                 if value is None:
                     return None
@@ -201,7 +242,11 @@ class LTJEngine:
                 return candidate
 
     def _leapfrog_sorted(
-        self, atoms: list[object], var: Var, lower: int
+        self,
+        atoms: list[object],
+        var: Var,
+        lower: int,
+        vc: object | None = None,
     ) -> int | None:
         """Veldhuizen's leapfrog: keep the atoms' current candidates and
         repeatedly leap the *smallest* one to the largest, until all
@@ -209,6 +254,8 @@ class LTJEngine:
         candidates: list[int] = []
         for relation in atoms:
             self.stats.leap_calls += 1
+            if vc is not None:
+                vc.leaps += 1
             value = relation.leap(var, lower)
             if value is None:
                 return None
@@ -223,6 +270,8 @@ class LTJEngine:
             if candidates[smallest_idx] == largest:
                 return largest
             self.stats.leap_calls += 1
+            if vc is not None:
+                vc.leaps += 1
             value = atoms[smallest_idx].leap(var, largest)
             if value is None:
                 return None

@@ -22,6 +22,10 @@ class KnnClauseRelation:
         self._knn = knn
         self._clause = clause
         self._k = clause.k
+        self.obs = None
+        """Optional :class:`repro.obs.trace.RelationCounters`; detail
+        keys name the kNN-ring primitive used per call (e.g.
+        ``leap_forward_S`` for a descent of the simulated trie T_xy)."""
         # Current bindings of the two sides (None = unbound). Constants
         # are bound immediately and never pushed on the undo stack.
         self._x_value: int | None = None
@@ -80,16 +84,27 @@ class KnnClauseRelation:
             raise StructureError(f"{var!r} is already bound")
         if side == "y" and self._y_value is not None:
             raise StructureError(f"{var!r} is already bound")
+        obs = self.obs
+        if obs is not None:
+            obs.leaps += 1
         if side == "y":
             if self._x_value is not None:
                 # Descend T_xy: range S[(x-1)K+1 .. (x-1)K+k] (Lemma 2b).
+                if obs is not None:
+                    obs.bump("leap_forward_S")
                 return self._knn.leap_forward(self._x_value, self._k, lower)
             # Root of T_yx: any member with a non-empty reverse range.
+            if obs is not None:
+                obs.bump("leap_root_reverse")
             return self._knn.next_reverse_nonempty(self._k, lower)
         if self._y_value is not None:
             # Descend T_yx: range S'[p_y(1) .. p_y(k+1)-1] (Lemma 2c).
+            if obs is not None:
+                obs.bump("leap_backward_Sprime")
             return self._knn.leap_backward(self._y_value, self._k, lower)
         # Root of T_xy: every member has k forward neighbors.
+        if obs is not None:
+            obs.bump("leap_root_member")
         return self._knn.next_member(lower)
 
     def bind(self, var: Var, value: int) -> bool:
@@ -98,23 +113,37 @@ class KnnClauseRelation:
             # Already failed; push a no-op frame to keep unbind symmetric.
             self._undo.append(side)
             self._set(side, value)
+            if self.obs is not None:
+                self.obs.failed_binds += 1
             return False
         other_bound = self._y_value if side == "x" else self._x_value
         self._set(side, value)
         self._undo.append(side)
+        obs = self.obs
         ok: bool
         if other_bound is None:
             # First side bound: non-emptiness = the range is non-empty.
             if side == "x":
+                if obs is not None:
+                    obs.bump("count_forward")
                 ok = self._knn.forward_count(value, self._k) > 0
             else:
+                if obs is not None:
+                    obs.bump("count_backward")
                 ok = self._knn.backward_count(value, self._k) > 0
         else:
+            if obs is not None:
+                obs.bump("contains")
             ok = self._knn.contains(
                 self._x_value, self._y_value, self._k  # type: ignore[arg-type]
             )
         if not ok:
             self._failed_depth = len(self._undo)
+        if obs is not None:
+            if ok:
+                obs.binds += 1
+            else:
+                obs.failed_binds += 1
         return ok
 
     def unbind(self, var: Var) -> None:
@@ -122,6 +151,8 @@ class KnnClauseRelation:
         if not self._undo or self._undo[-1] != side:
             raise StructureError(f"unbind({var!r}) out of order")
         self._undo.pop()
+        if self.obs is not None:
+            self.obs.unbinds += 1
         self._set(side, None)
         if self._failed_depth is not None and self._failed_depth > len(self._undo):
             self._failed_depth = None
@@ -136,6 +167,8 @@ class KnnClauseRelation:
         """Exact candidate counts from the S/S' ranges (Sec. 5): ``k``
         when ``x`` is bound, the reverse-range size when ``y`` is bound,
         the member count when neither is."""
+        if self.obs is not None:
+            self.obs.estimates += 1
         side = self._side_of(var)
         if side == "y":
             if self._x_value is not None:

@@ -53,6 +53,18 @@ class OrderingStrategy(abc.ABC):
     def choose(self, context: OrderingContext) -> Var:
         """Pick the next variable among ``context.unbound``."""
 
+    def describe(self, context: OrderingContext, chosen: Var) -> str:
+        """Why :meth:`choose` picked ``chosen`` (for query traces).
+
+        Only called when tracing is on, so subclasses may recompute
+        cheap classification work here instead of threading it out of
+        :meth:`choose`.
+        """
+        parts = [f"l_x={context.estimates.get(chosen, 0)}"]
+        if chosen in context.lonely:
+            parts.append("lonely (all regular variables bound)")
+        return "; ".join(parts)
+
     @staticmethod
     def _min_estimate(candidates: list[Var], context: OrderingContext) -> Var:
         """Smallest ``l_x``; ties broken by position in ``unbound``."""
@@ -68,6 +80,10 @@ class MinCandidatesOrdering(OrderingStrategy):
         if regular:
             return self._min_estimate(regular, context)
         return self._min_estimate(list(context.unbound), context)
+
+    def describe(self, context: OrderingContext, chosen: Var) -> str:
+        base = super().describe(context, chosen)
+        return f"min-l_x (unrestricted): {base}"
 
 
 class ConstraintAwareOrdering(OrderingStrategy):
@@ -87,6 +103,19 @@ class ConstraintAwareOrdering(OrderingStrategy):
         if unmarked:
             return self._min_estimate(unmarked, context)
         return self._min_estimate(pool, context)
+
+    def describe(self, context: OrderingContext, chosen: Var) -> str:
+        marked = {y for _x, y in context.constraint_edges}
+        base = super().describe(context, chosen)
+        if chosen in marked:
+            return (
+                f"constraint-aware: {base}; constraint target chosen "
+                "(every candidate is a target)"
+            )
+        if marked:
+            skipped = ", ".join(sorted(v.name for v in marked))
+            return f"constraint-aware: {base}; targets deferred: {skipped}"
+        return f"constraint-aware: {base}; no unresolved constraint edges"
 
 
 class TopologicalOrdering(OrderingStrategy):

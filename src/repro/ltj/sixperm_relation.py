@@ -22,6 +22,9 @@ class SixPermTripleRelation:
     def __init__(self, index: SixPermIndex, pattern: TriplePattern) -> None:
         self._index = index
         self._pattern = pattern
+        self.obs = None
+        """Optional :class:`repro.obs.trace.RelationCounters` (None when
+        tracing is off)."""
         self._coords_of: dict[Var, tuple[str, ...]] = {}
         self._bound_values: dict[str, int] = {}
         for coord, term in zip("spo", pattern.terms):
@@ -57,6 +60,8 @@ class SixPermTripleRelation:
 
     def leap(self, var: Var, lower: int) -> int | None:
         coords = self._require_free(var)
+        if self.obs is not None:
+            self.obs.leaps += 1
         if self._count() == 0:
             return None
         if len(coords) == 1:
@@ -83,7 +88,13 @@ class SixPermTripleRelation:
             self._bound_values[coord] = value
         self._bound_vars.append(var)
         self._count_cache = None
-        return self._count() > 0
+        ok = self._count() > 0
+        if self.obs is not None:
+            if ok:
+                self.obs.binds += 1
+            else:
+                self.obs.failed_binds += 1
+        return ok
 
     def unbind(self, var: Var) -> None:
         if not self._bound_vars or self._bound_vars[-1] != var:
@@ -94,9 +105,13 @@ class SixPermTripleRelation:
             del self._bound_values[coord]
         self._bound_vars.pop()
         self._count_cache = None
+        if self.obs is not None:
+            self.obs.unbinds += 1
 
     def estimate(self, var: Var) -> int:
         self._require_free(var)
+        if self.obs is not None:
+            self.obs.estimates += 1
         return self._count()
 
     def _require_free(self, var: Var) -> tuple[str, ...]:

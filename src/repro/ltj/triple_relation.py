@@ -47,6 +47,18 @@ class RingTripleRelation:
 
     # ------------------------------------------------------------------
     @property
+    def obs(self):
+        """Optional :class:`repro.obs.trace.RelationCounters` (None when
+        tracing is off). Setting it also instruments the underlying
+        :class:`RingPatternState`, whose detail counters record which
+        Ring primitives answered each call."""
+        return self._state.obs
+
+    @obs.setter
+    def obs(self, counters) -> None:
+        self._state.obs = counters
+
+    @property
     def pattern(self) -> TriplePattern:
         return self._pattern
 
@@ -68,6 +80,9 @@ class RingTripleRelation:
     # ------------------------------------------------------------------
     def leap(self, var: Var, lower: int) -> int | None:
         coords = self._require_free(var)
+        obs = self._state.obs
+        if obs is not None:
+            obs.leaps += 1
         if len(coords) == 1:
             return self._state.leap(coords[0], lower)
         # Repeated variable: generate candidates from the first free
@@ -88,7 +103,14 @@ class RingTripleRelation:
         for coord in coords:
             self._state.bind(coord, value)
         self._bound.append(var)
-        return not self._state.is_empty()
+        ok = not self._state.is_empty()
+        obs = self._state.obs
+        if obs is not None:
+            if ok:
+                obs.binds += 1
+            else:
+                obs.failed_binds += 1
+        return ok
 
     def unbind(self, var: Var) -> None:
         if not self._bound or self._bound[-1] != var:
@@ -98,6 +120,8 @@ class RingTripleRelation:
         for _ in self._coords_of[var]:
             self._state.unbind()
         self._bound.pop()
+        if self._state.obs is not None:
+            self._state.obs.unbinds += 1
 
     def estimate(self, var: Var) -> int:
         """Candidate-count estimate for ``var``.
@@ -110,6 +134,8 @@ class RingTripleRelation:
         range-size bound, which remains a valid upper estimate.
         """
         coords = self._require_free(var)
+        if self._state.obs is not None:
+            self._state.obs.estimates += 1
         count = self._state.count()
         if not self._exact_estimates or len(coords) != 1:
             return count

@@ -52,6 +52,11 @@ class RingPatternState:
                 positions (e.g. ``{"p": 5}`` for ``(?x, 5, ?y)``).
         """
         self._ring = ring
+        self.obs = None
+        """Optional :class:`repro.obs.trace.RelationCounters`; when set,
+        each navigation primitive bumps a ``detail`` counter recording
+        which Ring operation answered it (ranges opened per arc kind,
+        leap dispatch)."""
         root = _Frame(
             bound=(), arc_first=None, lo=0, hi=ring.num_edges - 1,
             matches=ring.num_edges,
@@ -97,13 +102,18 @@ class RingPatternState:
         bound[coord] = value
         new_bound = tuple(sorted(bound.items()))
         ring = self._ring
+        obs = self.obs
         if len(bound) == 1:
+            if obs is not None:
+                obs.bump("range_1arc")
             lo, hi = ring.block_range(coord, value)
             self._stack.append(
                 _Frame(new_bound, coord, lo, hi, max(0, hi - lo + 1))
             )
             return
         if len(bound) == 2:
+            if obs is not None:
+                obs.bump("range_2arc")
             first = ring.arc_start(frozenset(bound))
             second = NEXT_COORD[first]
             lo, hi = ring.pair_range(first, bound[first], bound[second])
@@ -112,6 +122,8 @@ class RingPatternState:
             )
             return
         if len(bound) == 3:
+            if obs is not None:
+                obs.bump("triple_count")
             if frame.arc_first is None:  # pragma: no cover - defensive
                 raise StructureError("cannot bind third coord without a 2-arc")
             matches = ring.triple_count(
@@ -145,13 +157,20 @@ class RingPatternState:
         if frame.matches == 0:
             return None
         ring = self._ring
+        obs = self.obs
         if not bound:
+            if obs is not None:
+                obs.bump("leap_unbound")
             return ring.leap_unbound(coord, lower)
         if len(bound) == 1:
             (f, value), = bound.items()
             if coord == PREV_COORD[f]:
+                if obs is not None:
+                    obs.bump("leap_stored")
                 return ring.leap_stored(f, frame.lo, frame.hi, lower)
             if coord == NEXT_COORD[f]:
+                if obs is not None:
+                    obs.bump("leap_ahead")
                 return ring.leap_ahead(f, value, lower)
             raise StructureError(  # pragma: no cover - cycle covers all
                 f"coordinate {coord!r} unrelated to arc at {f!r}"
@@ -160,11 +179,15 @@ class RingPatternState:
         assert frame.arc_first is not None
         if coord != PREV_COORD[frame.arc_first]:  # pragma: no cover
             raise StructureError("free coordinate inconsistent with 2-arc")
+        if obs is not None:
+            obs.bump("leap_stored")
         return ring.leap_stored(frame.arc_first, frame.lo, frame.hi, lower)
 
     def probe(self, assignments: dict[str, int]) -> bool:
         """Check non-emptiness if the given coords were bound (no state
         change). Used for variables occupying several coordinates."""
+        if self.obs is not None:
+            self.obs.bump("probe")
         for coord, value in assignments.items():
             self.bind(coord, value)
         nonempty = not self.is_empty()

@@ -63,6 +63,11 @@ class WaveletTree:
             np.zeros(alphabet_size, dtype=np.int64)
         )
         self._counts = counts.astype(np.int64)
+        self.ops = None
+        """Optional :class:`repro.obs.trace.OpCounters`. ``None`` (the
+        default) disables op counting entirely; a traced evaluation
+        attaches counters for its duration (see
+        :func:`repro.obs.trace.attach_wavelets`)."""
 
     # ------------------------------------------------------------------
     # introspection
@@ -93,6 +98,8 @@ class WaveletTree:
     # ------------------------------------------------------------------
     def access(self, i: int) -> int:
         """Return ``S[i]``."""
+        if self.ops is not None:
+            self.ops.access += 1
         if not 0 <= i < self._n:
             raise ValidationError(f"access index {i} out of range [0, {self._n})")
         lo, hi = 0, self._n
@@ -112,6 +119,8 @@ class WaveletTree:
 
     def rank(self, c: int, i: int) -> int:
         """Occurrences of ``c`` in positions ``[0, i)``."""
+        if self.ops is not None:
+            self.ops.rank += 1
         if not 0 <= c < self._sigma:
             raise ValidationError(f"symbol {c} out of range [0, {self._sigma})")
         if not 0 <= i <= self._n:
@@ -140,6 +149,8 @@ class WaveletTree:
 
     def select(self, c: int, j: int) -> int:
         """Position of the ``j``-th occurrence of ``c`` (``j`` from 1)."""
+        if self.ops is not None:
+            self.ops.select += 1
         if not 0 <= c < self._sigma:
             raise ValidationError(f"symbol {c} out of range [0, {self._sigma})")
         if not 1 <= j <= int(self._counts[c]):
@@ -187,6 +198,8 @@ class WaveletTree:
         Returns ``None`` when no such symbol exists. This is the paper's
         ``range_next_value`` primitive powering ``leap`` (Sec. 2.4).
         """
+        if self.ops is not None:
+            self.ops.range_next += 1
         if lo > hi or self._n == 0:
             return None
         if not (0 <= lo and hi < self._n):
@@ -263,6 +276,8 @@ class WaveletTree:
         The classic 2-D dominance counting on a wavelet tree, in
         ``O(log sigma)``: descend splitting the symbol interval.
         """
+        if self.ops is not None:
+            self.ops.range_count += 1
         if lo > hi or a > b or self._n == 0:
             return 0
         if not (0 <= lo and hi < self._n):
@@ -316,6 +331,8 @@ class WaveletTree:
         """The ``j``-th smallest symbol of ``S[lo..hi]`` (``j`` from 1,
         counting multiplicity) — the classic wavelet-tree quantile query
         in ``O(log sigma)``."""
+        if self.ops is not None:
+            self.ops.quantile += 1
         if lo > hi or self._n == 0:
             raise ValidationError("quantile on an empty range")
         if not (0 <= lo and hi < self._n):
@@ -373,6 +390,8 @@ class WaveletTree:
             raise ValidationError(f"range [{lo}, {hi}] out of [0, {self._n})")
         c = 0
         while True:
+            if self.ops is not None:
+                self.ops.range_next += 1
             value = self._next_value(0, 0, self._n, lo, hi + 1, 0, c)
             if value is None:
                 return
