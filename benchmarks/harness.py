@@ -1,0 +1,40 @@
+"""Repo-level entry point for the benchmark-regression harness.
+
+The implementation lives in :mod:`repro.bench.harness` (so the ``repro
+bench`` CLI subcommand can import it from an installed package); this
+wrapper keeps the harness runnable straight from a checkout::
+
+    PYTHONPATH=src python benchmarks/harness.py --out BENCH_$(date +%F).json
+    PYTHONPATH=src python benchmarks/harness.py --diff BENCH_a.json BENCH_b.json
+
+which is equivalent to ``repro bench ...``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import (  # noqa: F401  (re-exported for importers)
+    BENCH_VERSION,
+    BenchConfig,
+    BenchDiff,
+    calibrate,
+    default_filename,
+    diff_bench,
+    format_diff,
+    load_bench,
+    run_bench,
+    run_micro,
+    write_bench,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli import main as cli_main
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    return cli_main(["bench", *args])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

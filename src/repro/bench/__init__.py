@@ -1,0 +1,23 @@
+"""Benchmark-regression harness (the backend of ``repro bench``)."""
+
+from repro.bench.harness import (
+    BENCH_VERSION,
+    BenchConfig,
+    default_filename,
+    diff_bench,
+    format_diff,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_VERSION",
+    "BenchConfig",
+    "default_filename",
+    "diff_bench",
+    "format_diff",
+    "load_bench",
+    "run_bench",
+    "write_bench",
+]

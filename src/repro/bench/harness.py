@@ -1,0 +1,515 @@
+"""The benchmark-regression harness behind ``repro bench``.
+
+A bench run produces one JSON document (``BENCH_<date>.json``) with
+three measurement groups:
+
+* **figure2** — per ``(family, engine)`` wall-clock times over the
+  Figure-2 workload (an untraced, timed pass);
+* **opcounts** — per ``(family, engine)`` operation counts from a
+  second, traced pass: engine stats (leap calls, attempts, bindings,
+  solutions) and the per-structure wavelet-tree op counters of
+  :mod:`repro.obs`. These are deterministic — same code, same seeds,
+  same counts on any machine — so the diff compares them *exactly*;
+* **micro** — fixed-iteration loops over the succinct primitives
+  (bitvector rank/select, wavelet-tree rank/select/``range_next_value``
+  /``distinct_values``), the operations every query bottoms out in.
+
+Wall-clock numbers are environment-sensitive, so every run also records
+a **calibration** time (a fixed pure-Python loop). When diffing two
+documents from different machines, wall times are normalized by the
+calibration ratio before the tolerance test; op counts need no such
+treatment.
+
+``diff_bench`` is the regression gate: op-count or solution-count
+mismatches always fail; a wall-time entry fails when the (normalized)
+``after`` time exceeds ``before * (1 + tolerance)``. Timed-out figure2
+entries are handled specially — their timed-pass solution counts are
+never compared (the cap truncates work at a wall-clock-dependent point;
+the untimed ``opcounts`` pass still guards those queries' correctness),
+and entries saturated at the cap on *both* sides are dropped from the
+wall comparison. The ``figure2-completed-in-both:TOTAL`` line is the
+headline speedup over identical work.
+
+The traced pass runs without a timeout so its op counts stay
+deterministic (a timeout truncates work at a wall-clock-dependent
+point); the timed pass honours ``BenchConfig.timeout``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.datasets.wikimedia import WikimediaConfig, generate_benchmark
+from repro.datasets.workload import WorkloadConfig, generate_workload
+from repro.engines.baseline import BaselineEngine
+from repro.engines.database import GraphDatabase
+from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+from repro.obs import QueryTrace
+from repro.succinct.bitvector import BitVector
+from repro.succinct.wavelet_tree import WaveletTree
+from repro.utils.errors import ValidationError
+
+BENCH_VERSION = 1
+
+_ENGINES = {
+    "baseline": BaselineEngine,
+    "ring-knn": RingKnnEngine,
+    "ring-knn-s": RingKnnSEngine,
+}
+
+_STAT_KEYS = ("solutions", "bindings", "attempts", "leap_calls")
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Scale and scope of one bench run (defaults match the benchmark
+    suite's laptop-scale Figure-2 setup, see ``benchmarks/conftest.py``)."""
+
+    entities: int = 600
+    images: int = 250
+    misc_triples: int = 4000
+    big_k: int = 16
+    seed: int = 7
+    k: int = 10
+    queries: int = 4
+    workload_seed: int = 2
+    timeout: float | None = 60.0
+    engines: tuple[str, ...] = ("baseline", "ring-knn", "ring-knn-s")
+    micro: bool = True
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        unknown = [e for e in self.engines if e not in _ENGINES]
+        if unknown:
+            raise ValidationError(
+                f"unknown bench engines {unknown}; choose from "
+                f"{sorted(_ENGINES)}"
+            )
+
+
+def default_filename(date: str) -> str:
+    return f"BENCH_{date}.json"
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+def calibrate(rounds: int = 3) -> float:
+    """Fixed pure-Python work unit; returns its best-of-``rounds`` time.
+
+    Diffs use the ratio of two calibration times to normalize wall-clock
+    measurements taken on different machines (or differently loaded
+    ones). The loop exercises interpreter dispatch and integer
+    arithmetic — the same substrate the succinct kernel runs on — and is
+    untouched by kernel optimizations.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        acc = 0
+        for i in range(150_000):
+            acc += (i * 2654435761) & 0xFFFFFFFF
+            acc ^= acc >> 7
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _best_of(fn, rounds: int = 2) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_micro() -> dict[str, dict[str, float | int]]:
+    """Fixed-seed, fixed-iteration timings of the succinct primitives."""
+    rng = np.random.default_rng(42)
+    bv = BitVector(rng.integers(0, 2, 200_000))
+    wt = WaveletTree(rng.integers(0, 5_000, 100_000), 5_000)
+
+    rank_pos = [int(p) for p in np.linspace(0, len(bv), 5_000, dtype=np.int64)]
+    sel1 = [int(j) for j in np.linspace(1, bv.n_ones, 5_000, dtype=np.int64)]
+    sel0 = [int(j) for j in np.linspace(1, bv.n_zeros, 5_000, dtype=np.int64)]
+    wt_pairs = [
+        (int(c), int(i))
+        for c, i in zip(
+            rng.integers(0, 5_000, 2_000), rng.integers(0, 100_001, 2_000)
+        )
+    ]
+    wt_sel = [(int(c), 1) for c in rng.integers(0, 5_000, 1_000)]
+    ranges = [
+        (lo, lo + 40_000) for lo in [int(x) for x in rng.integers(0, 60_000, 50)]
+    ]
+
+    def bv_rank1() -> None:
+        r = bv.rank1
+        for _ in range(4):
+            for p in rank_pos:
+                r(p)
+
+    def bv_select1() -> None:
+        s = bv.select1
+        for _ in range(4):
+            for j in sel1:
+                s(j)
+
+    def bv_select0() -> None:
+        s = bv.select0
+        for _ in range(4):
+            for j in sel0:
+                s(j)
+
+    def wt_rank() -> None:
+        r = wt.rank
+        for c, i in wt_pairs:
+            r(c, i)
+
+    def wt_select() -> None:
+        s = wt.select
+        t = wt.total_count
+        for c, _j in wt_sel:
+            if t(c):
+                s(c, 1)
+
+    def wt_range_next() -> None:
+        f = wt.range_next_value
+        for c, _i in wt_pairs:
+            f(10_000, 60_000, c)
+
+    def wt_distinct() -> None:
+        for lo, hi in ranges:
+            it = wt.distinct_values(lo, hi)
+            for _ in range(64):
+                if next(it, None) is None:
+                    break
+
+    cases = {
+        "bv_rank1": (len(rank_pos) * 4, bv_rank1),
+        "bv_select1": (len(sel1) * 4, bv_select1),
+        "bv_select0": (len(sel0) * 4, bv_select0),
+        "wt_rank": (len(wt_pairs), wt_rank),
+        "wt_select": (len(wt_sel), wt_select),
+        "wt_range_next_value": (len(wt_pairs), wt_range_next),
+        "wt_distinct_values": (len(ranges) * 64, wt_distinct),
+    }
+    out: dict[str, dict[str, float | int]] = {}
+    for name, (ops, fn) in cases.items():
+        seconds = _best_of(fn)
+        out[name] = {
+            "ops": ops,
+            "total_s": seconds,
+            "ops_per_s": (ops / seconds) if seconds > 0 else 0.0,
+        }
+    return out
+
+
+def _build(config: BenchConfig):
+    bench = generate_benchmark(
+        WikimediaConfig(
+            n_entities=config.entities,
+            n_images=config.images,
+            n_misc_triples=config.misc_triples,
+            K=config.big_k,
+            seed=config.seed,
+        )
+    )
+    db = GraphDatabase(bench.graph, bench.knn_graph)
+    workload = generate_workload(
+        bench,
+        WorkloadConfig(
+            k=config.k,
+            n_q1=config.queries,
+            n_q2=max(1, config.queries // 2),
+            n_q3=config.queries,
+            n_q4=max(1, config.queries // 2),
+            n_q5=config.queries,
+            seed=config.workload_seed,
+        ),
+    )
+    return db, workload
+
+
+def _timed_pass(db, workload, config: BenchConfig) -> dict[str, dict]:
+    """Untraced wall-clock measurement, one entry per family/engine."""
+    out: dict[str, dict] = {}
+    for family, queries in sorted(workload.items()):
+        for name in config.engines:
+            engine = _ENGINES[name](db)
+            times: list[float] = []
+            solutions = 0
+            timeouts = 0
+            for query in queries:
+                started = time.perf_counter()
+                result = engine.evaluate(query, timeout=config.timeout)
+                times.append(time.perf_counter() - started)
+                solutions += len(result.solutions)
+                timeouts += int(result.timed_out)
+            out[f"{family}/{name}"] = {
+                "queries": len(times),
+                "total_s": float(sum(times)),
+                "mean_s": float(sum(times) / len(times)) if times else 0.0,
+                "max_s": float(max(times)) if times else 0.0,
+                "solutions": solutions,
+                "timeouts": timeouts,
+            }
+    return out
+
+
+def collect_opcounts(
+    db, workload, engines: tuple[str, ...]
+) -> dict[str, dict]:
+    """Deterministic op-count measurement (no timeout, traced).
+
+    One entry per ``family/engine``: summed engine stats plus the
+    per-structure wavelet op counters. Also used by the golden
+    regression tests (``tests/test_golden_opcounts.py``) — the counts
+    depend only on code and seeds, never on the machine.
+    """
+    out: dict[str, dict] = {}
+    for family, queries in sorted(workload.items()):
+        for name in engines:
+            engine = _ENGINES[name](db)
+            stats = {key: 0 for key in _STAT_KEYS}
+            wavelets: dict[str, dict[str, int]] = {}
+            for query in queries:
+                trace = QueryTrace(query=repr(query), engine=name)
+                engine.evaluate(query, timeout=None, trace=trace)
+                for key in _STAT_KEYS:
+                    stats[key] += int(trace.stats.get(key, 0))
+                for label, ops in trace.wavelets.items():
+                    bucket = wavelets.setdefault(label, {})
+                    for op, count in ops.as_dict().items():
+                        bucket[op] = bucket.get(op, 0) + int(count)
+            out[f"{family}/{name}"] = {
+                "stats": stats,
+                "wavelets": {k: wavelets[k] for k in sorted(wavelets)},
+            }
+    return out
+
+
+def run_bench(config: BenchConfig, date: str | None = None) -> dict:
+    """Run the full harness, returning the ``BENCH`` document."""
+    if date is None:
+        date = time.strftime("%Y-%m-%d")
+    calibration = calibrate()
+    db, workload = _build(config)
+    figure2 = _timed_pass(db, workload, config)
+    opcounts = collect_opcounts(db, workload, config.engines)
+    micro = run_micro() if config.micro else {}
+    doc = {
+        "version": BENCH_VERSION,
+        "date": date,
+        "label": config.label,
+        "config": asdict(config),
+        "calibration_s": calibration,
+        "figure2": figure2,
+        "opcounts": opcounts,
+        "micro": micro,
+        "totals": {
+            "figure2_wall_s": float(
+                sum(entry["total_s"] for entry in figure2.values())
+            ),
+            "micro_wall_s": float(
+                sum(entry["total_s"] for entry in micro.values())
+            ),
+            "wavelet_ops": int(
+                sum(
+                    bucket.get("total", 0)
+                    for entry in opcounts.values()
+                    for bucket in entry["wavelets"].values()
+                )
+            ),
+        },
+    }
+    return doc
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+def write_bench(doc: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("version") != BENCH_VERSION:
+        raise ValidationError(
+            f"{path}: bench document version {doc.get('version')!r} "
+            f"!= {BENCH_VERSION}"
+        )
+    return doc
+
+
+# ----------------------------------------------------------------------
+# diffing
+# ----------------------------------------------------------------------
+@dataclass
+class BenchDiff:
+    """Outcome of comparing two bench documents."""
+
+    regressions: list[str] = field(default_factory=list)
+    mismatches: list[str] = field(default_factory=list)
+    lines: list[str] = field(default_factory=list)
+    scale: float = 1.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.mismatches
+
+
+def _timeouts(doc: dict, key: str) -> int:
+    return int(doc.get("figure2", {}).get(key, {}).get("timeouts", 0))
+
+
+def _walk_wall(doc: dict, saturated: set[str]) -> dict[str, float]:
+    """Flatten every wall-clock entry of a document to ``key -> seconds``.
+
+    ``saturated`` names the figure2 entries that hit the timeout in
+    *both* documents being diffed: their recorded time is the cap, not a
+    measurement, so they are excluded (an entry that times out on only
+    one side stays in — that asymmetry is a real signal).
+    """
+    out: dict[str, float] = {}
+    for group in ("figure2", "micro"):
+        for key, entry in doc.get(group, {}).items():
+            if group == "figure2" and key in saturated:
+                continue
+            out[f"{group}:{key}"] = float(entry["total_s"])
+    for key, value in doc.get("totals", {}).items():
+        if key.endswith("_s"):
+            out[f"totals:{key}"] = float(value)
+    return out
+
+
+def _walk_counts(doc: dict, incomparable: set[str]) -> dict[str, int]:
+    """Flatten every deterministic counter to ``key -> count``.
+
+    The ``opcounts`` section comes from the untimed traced pass and is
+    always comparable. Timed-pass solution counts are only deterministic
+    for queries that ran to completion, so figure2 entries named in
+    ``incomparable`` (a timeout on either side of the diff) are skipped —
+    their op-count counterparts still guard correctness.
+    """
+    out: dict[str, int] = {}
+    for key, entry in doc.get("opcounts", {}).items():
+        for stat, value in entry.get("stats", {}).items():
+            out[f"opcounts:{key}:stats:{stat}"] = int(value)
+        for label, bucket in entry.get("wavelets", {}).items():
+            for op, value in bucket.items():
+                out[f"opcounts:{key}:wavelets:{label}:{op}"] = int(value)
+    for key, entry in doc.get("figure2", {}).items():
+        if key in incomparable:
+            continue
+        out[f"figure2:{key}:solutions"] = int(entry.get("solutions", 0))
+    return out
+
+
+def diff_bench(
+    before: dict,
+    after: dict,
+    tolerance: float = 0.2,
+    use_calibration: bool = True,
+    min_seconds: float = 0.05,
+) -> BenchDiff:
+    """Compare two bench documents.
+
+    Deterministic counters (op counts, solution counts) must match
+    exactly; wall times — normalized by the calibration ratio when
+    ``use_calibration`` — fail on a relative regression beyond
+    ``tolerance`` *and* an absolute excess beyond ``min_seconds``
+    (millisecond-scale entries jitter by far more than any tolerance;
+    the floor keeps them informational without letting a genuinely slow
+    entry — which blows past the floor — escape).
+    """
+    diff = BenchDiff()
+    if use_calibration:
+        b_cal = float(before.get("calibration_s") or 0.0)
+        a_cal = float(after.get("calibration_s") or 0.0)
+        if b_cal > 0 and a_cal > 0:
+            diff.scale = a_cal / b_cal
+    diff.lines.append(
+        f"calibration scale (after/before machine): {diff.scale:.3f}"
+    )
+
+    shared_fig2 = set(before.get("figure2", {})) & set(after.get("figure2", {}))
+    # Timed out on either side: the solution count (and, if both sides
+    # saturated, the wall time) reflects the cap, not the query.
+    timed_out = {
+        key
+        for key in shared_fig2
+        if _timeouts(before, key) > 0 or _timeouts(after, key) > 0
+    }
+    saturated = {
+        key
+        for key in shared_fig2
+        if _timeouts(before, key) > 0 and _timeouts(after, key) > 0
+    }
+    if timed_out:
+        diff.lines.append(
+            "timed-out figure2 entries (solutions not compared): "
+            + ", ".join(sorted(timed_out))
+        )
+
+    b_counts = _walk_counts(before, timed_out)
+    a_counts = _walk_counts(after, timed_out)
+    for key in sorted(set(b_counts) | set(a_counts)):
+        b = b_counts.get(key)
+        a = a_counts.get(key)
+        if b != a:
+            diff.mismatches.append(f"{key}: {b} -> {a}")
+    diff.lines.append(
+        f"deterministic counters: {len(b_counts)} compared, "
+        f"{len(diff.mismatches)} mismatched"
+    )
+
+    b_wall = _walk_wall(before, saturated)
+    a_wall = _walk_wall(after, saturated)
+    # Headline aggregate over queries that completed in BOTH runs: the
+    # only figure2 sum where the two sides measure identical work.
+    completed = sorted(shared_fig2 - timed_out)
+    if completed:
+        b_wall["figure2-completed-in-both:TOTAL"] = sum(
+            float(before["figure2"][k]["total_s"]) for k in completed
+        )
+        a_wall["figure2-completed-in-both:TOTAL"] = sum(
+            float(after["figure2"][k]["total_s"]) for k in completed
+        )
+    for key in sorted(set(b_wall) & set(a_wall)):
+        b = b_wall[key] * diff.scale
+        a = a_wall[key]
+        speedup = (b / a) if a > 0 else float("inf")
+        status = "ok"
+        if a > b * (1.0 + tolerance) and a - b > min_seconds:
+            status = "REGRESSION"
+            diff.regressions.append(
+                f"{key}: {b_wall[key]:.4f}s -> {a_wall[key]:.4f}s "
+                f"({1 / speedup:.2f}x slower, normalized)"
+            )
+        diff.lines.append(
+            f"{key}: {b_wall[key]:.4f}s -> {a_wall[key]:.4f}s "
+            f"(speedup {speedup:.2f}x, {status})"
+        )
+    return diff
+
+
+def format_diff(diff: BenchDiff, tolerance: float) -> str:
+    parts = [f"bench diff (wall-time tolerance {tolerance:.0%})"]
+    parts.extend("  " + line for line in diff.lines)
+    if diff.mismatches:
+        parts.append("COUNTER MISMATCHES (deterministic — must be equal):")
+        parts.extend("  " + line for line in diff.mismatches)
+    if diff.regressions:
+        parts.append("WALL-TIME REGRESSIONS:")
+        parts.extend("  " + line for line in diff.regressions)
+    parts.append("PASS" if diff.ok else "FAIL")
+    return "\n".join(parts)

@@ -9,6 +9,8 @@ Subcommands::
     repro figure2   --timeout 15 [--scale flags]
     repro figure3   [--dataset anuran|drybean --scale 0.12 --K 40]
     repro space     [--scale flags]
+    repro bench     [--out BENCH.json --scale flags --baseline OLD.json]
+    repro bench     --diff OLD.json NEW.json [--tolerance 0.2]
 
 ``generate`` writes an ``.npz`` bundle (see :mod:`repro.graph.io`);
 ``query``/``explain``/``trace`` read one. ``trace`` evaluates the query
@@ -191,6 +193,69 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.bench.harness import (
+        BenchConfig,
+        default_filename,
+        diff_bench,
+        format_diff,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if args.diff:
+        before = load_bench(args.diff[0])
+        after = load_bench(args.diff[1])
+        diff = diff_bench(
+            before,
+            after,
+            tolerance=args.tolerance,
+            use_calibration=not args.no_calibration,
+            min_seconds=args.min_seconds,
+        )
+        print(format_diff(diff, args.tolerance))
+        return 0 if diff.ok else 1
+
+    config = BenchConfig(
+        entities=args.entities,
+        images=args.images,
+        misc_triples=args.misc_triples,
+        big_k=args.big_k,
+        seed=args.seed,
+        k=args.k,
+        queries=args.queries,
+        timeout=args.timeout,
+        engines=tuple(args.engines.split(",")),
+        micro=not args.no_micro,
+        label=args.label,
+    )
+    date = _time.strftime("%Y-%m-%d")
+    doc = run_bench(config, date=date)
+    out = args.out or default_filename(date)
+    write_bench(doc, out)
+    totals = doc["totals"]
+    print(
+        f"wrote {out}: figure2 {totals['figure2_wall_s']:.2f}s, "
+        f"micro {totals['micro_wall_s']:.2f}s, "
+        f"{totals['wavelet_ops']} wavelet ops"
+    )
+    if args.baseline:
+        baseline = load_bench(args.baseline)
+        diff = diff_bench(
+            baseline,
+            doc,
+            tolerance=args.tolerance,
+            use_calibration=not args.no_calibration,
+            min_seconds=args.min_seconds,
+        )
+        print(format_diff(diff, args.tolerance))
+        return 0 if diff.ok else 1
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.graph.stats import STATS_HEADERS, compute_graph_stats
 
@@ -281,6 +346,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.12)
     p.add_argument("--K", type=int, default=40, dest="knn_k")
     p.set_defaults(func=_cmd_figure3)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the benchmark-regression harness (or diff two results)",
+    )
+    _add_scale_flags(p)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--queries", type=int, default=4)
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-query budget of the timed pass (the traced op-count "
+        "pass always runs to completion for determinism)",
+    )
+    p.add_argument(
+        "--engines",
+        default="baseline,ring-knn,ring-knn-s",
+        help="comma-separated engine subset",
+    )
+    p.add_argument("--no-micro", action="store_true")
+    p.add_argument("--label", default="", help="free-form run label")
+    p.add_argument(
+        "--out", default=None, help="output path (default BENCH_<date>.json)"
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="after running, diff against this BENCH_*.json and exit "
+        "non-zero on regression",
+    )
+    p.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="compare two existing BENCH_*.json files instead of running",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed relative wall-time regression (default 0.2 = 20%%)",
+    )
+    p.add_argument(
+        "--no-calibration",
+        action="store_true",
+        help="skip cross-machine wall-time normalization when diffing",
+    )
+    p.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="absolute noise floor: a wall-time entry only counts as a "
+        "regression when it also exceeds the baseline by this many "
+        "seconds (default 0.05)",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("stats", help="describe a data bundle")
     p.add_argument("--data", required=True)

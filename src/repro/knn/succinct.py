@@ -20,6 +20,8 @@ Sec. 5. Lemma 1 gives the position arithmetic implemented in
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 import numpy as np
 
 from repro.knn.graph import KnnGraph
@@ -85,6 +87,10 @@ class KnnRing:
         self._S = WaveletTree(s_seq, sigma)
         self._Sprime = WaveletTree(sprime_seq, sigma)
         self._B = BitVector(bits)
+        # Plain-int mirrors for the per-call hot paths (index_of /
+        # next_member bisect and forward_range offsets).
+        self._members_i: list[int] = self._members.tolist()
+        self._s_offsets_i: list[int] = self._s_offsets.tolist()
 
     # ------------------------------------------------------------------
     # introspection
@@ -111,6 +117,10 @@ class KnnRing:
         """The wavelet tree over ``S'`` (rank-ordered reverse lists)."""
         return self._Sprime
 
+    def wavelet_trees(self) -> tuple[WaveletTree, WaveletTree]:
+        """``(S, S')`` — for per-query memo attachment."""
+        return (self._S, self._Sprime)
+
     def size_in_bytes(self) -> int:
         return (
             self._S.size_in_bytes()
@@ -129,8 +139,9 @@ class KnnRing:
 
     def index_of(self, node: int) -> int | None:
         """Dense member index, or ``None`` for non-members."""
-        idx = int(np.searchsorted(self._members, node))
-        if idx < self._members.size and self._members[idx] == node:
+        members = self._members_i
+        idx = bisect_left(members, node)
+        if idx < len(members) and members[idx] == node:
             return idx
         return None
 
@@ -150,8 +161,8 @@ class KnnRing:
         ui = self.index_of(u)
         if ui is None:
             return (0, -1)
-        lo = int(self._s_offsets[ui])
-        length = int(self._s_offsets[ui + 1]) - lo
+        lo = self._s_offsets_i[ui]
+        length = self._s_offsets_i[ui + 1] - lo
         return (lo, lo + min(k, length) - 1)
 
     def _sprime_boundary(self, vi: int, t: int) -> int:
@@ -167,7 +178,7 @@ class KnnRing:
         if j > self._B.n_ones:
             # Only happens for vi == n-1, t == K+1: end of S'.
             return len(self._Sprime)
-        pos = self._B.select1(j)
+        pos = self._B._select1_u(j)
         return pos - (j - 1)
 
     def backward_range(self, v: int, k: int) -> tuple[int, int]:
@@ -226,18 +237,20 @@ class KnnRing:
 
     def next_member(self, lower: int) -> int | None:
         """Smallest member id ``>= lower`` (candidates for an unbound x)."""
-        idx = int(np.searchsorted(self._members, lower))
-        if idx >= self._members.size:
+        members = self._members_i
+        idx = bisect_left(members, lower)
+        if idx >= len(members):
             return None
-        return int(self._members[idx])
+        return members[idx]
 
     def next_reverse_nonempty(self, k: int, lower: int) -> int | None:
         """Smallest member ``v >= lower`` with a non-empty backward
         ``k``-range (candidates for ``y`` when ``x`` is still unbound)."""
         self._check_k(k)
-        idx = int(np.searchsorted(self._members, lower))
-        while idx < self._members.size:
-            v = int(self._members[idx])
+        members = self._members_i
+        idx = bisect_left(members, lower)
+        while idx < len(members):
+            v = members[idx]
             lo, hi = self.backward_range(v, k)
             if lo <= hi:
                 return v

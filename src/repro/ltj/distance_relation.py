@@ -40,6 +40,10 @@ class DistanceClauseRelation:
     def clause(self) -> DistClause:
         return self._clause
 
+    def wavelet_trees(self):
+        """Trees touched by this relation (engine memo hook)."""
+        return (self._index.D,)
+
     @property
     def variables(self) -> frozenset[Var]:
         return frozenset(self._clause.variables)

@@ -111,6 +111,14 @@ class LTJEngine:
         Stats are finalized in a ``finally`` block, so they are valid
         even when the consumer abandons the generator before exhaustion
         (early ``break``, ``close()``, garbage collection).
+
+        For the duration of the run, every wavelet tree reachable through
+        a relation's ``wavelet_trees()`` hook gets a per-query memo
+        attached (see :meth:`WaveletTree.begin_query_memo`): backtracking
+        repeats many identical rank/leap traversals, and the trees are
+        immutable, so caching them within one evaluation is free of
+        staleness. The memo changes only the cost of operations — logical
+        op counts (and therefore traces) are unchanged.
         """
         stopwatch = Stopwatch(self._timeout)
         self.stats = EvaluationStats()
@@ -120,6 +128,9 @@ class LTJEngine:
             if self._is_similarity(r)
             for v in r.variables
         )
+        trees = self._memo_trees()
+        for tree in trees:
+            tree.begin_query_memo()
         try:
             if not any(r.is_empty() for r in self._relations):
                 assignment: dict[Var, int] = {}
@@ -129,9 +140,22 @@ class LTJEngine:
         except _Expired:
             self.stats.timed_out = True
         finally:
+            for tree in trees:
+                tree.end_query_memo()
             self.stats.elapsed = stopwatch.elapsed()
             if self._trace is not None:
                 self._trace.finish(self.stats)
+
+    def _memo_trees(self) -> list[object]:
+        """Deduplicated wavelet trees reachable from the relations."""
+        trees: dict[int, object] = {}
+        for relation in self._relations:
+            hook = getattr(relation, "wavelet_trees", None)
+            if hook is None:
+                continue
+            for tree in hook():
+                trees[id(tree)] = tree
+        return list(trees.values())
 
     def evaluate(self) -> list[dict[Var, int]]:
         """Collect all solutions into a list (see :meth:`run`)."""

@@ -46,6 +46,10 @@ class KnnClauseRelation:
     def clause(self) -> SimClause:
         return self._clause
 
+    def wavelet_trees(self):
+        """Trees touched by this relation (engine memo hook)."""
+        return self._knn.wavelet_trees()
+
     @property
     def variables(self) -> frozenset[Var]:
         return frozenset(self._clause.variables)

@@ -62,6 +62,10 @@ class RingTripleRelation:
     def pattern(self) -> TriplePattern:
         return self._pattern
 
+    def wavelet_trees(self):
+        """Trees touched by this relation (engine memo hook)."""
+        return self._ring.wavelet_trees()
+
     @property
     def variables(self) -> frozenset[Var]:
         return frozenset(self._coords_of)

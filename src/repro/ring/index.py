@@ -81,6 +81,10 @@ class RingIndex:
         """The cumulative array ``A_coord``."""
         return self._blocks[coord]
 
+    def wavelet_trees(self) -> tuple[WaveletTree, ...]:
+        """The three column trees (for per-query memo attachment)."""
+        return tuple(self._columns.values())
+
     def size_in_bytes(self) -> int:
         return sum(wt.size_in_bytes() for wt in self._columns.values()) + sum(
             cc.size_in_bytes() for cc in self._blocks.values()

@@ -12,6 +12,7 @@ array and answers the two questions the Ring needs:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections.abc import Iterable
 
 import numpy as np
@@ -37,6 +38,9 @@ class CumulativeCounts:
         counts = np.bincount(col, minlength=alphabet_size)
         # _cum[c] = number of entries with value < c; length D + 1.
         self._cum = np.concatenate(([0], np.cumsum(counts, dtype=np.int64)))
+        # Plain-int cache so the hot lookups (block_of / next_nonempty in
+        # every Ring leap) are a list subscript + bisect, not numpy calls.
+        self._cum_i: list[int] = self._cum.tolist()
         self._n = int(col.size)
         self._sigma = alphabet_size
 
@@ -46,6 +50,7 @@ class CumulativeCounts:
         obj = cls.__new__(cls)
         counts = np.asarray(counts, dtype=np.int64)
         obj._cum = np.concatenate(([0], np.cumsum(counts, dtype=np.int64)))
+        obj._cum_i = obj._cum.tolist()
         obj._n = int(counts.sum())
         obj._sigma = int(counts.size)
         return obj
@@ -64,13 +69,13 @@ class CumulativeCounts:
         """``A[c]``: number of entries strictly smaller than ``c``."""
         if not 0 <= c <= self._sigma:
             raise ValidationError(f"symbol {c} out of range [0, {self._sigma}]")
-        return int(self._cum[c])
+        return self._cum_i[c]
 
     def count(self, c: int) -> int:
         """Number of occurrences of symbol ``c``."""
         if not 0 <= c < self._sigma:
             raise ValidationError(f"symbol {c} out of range [0, {self._sigma})")
-        return int(self._cum[c + 1] - self._cum[c])
+        return self._cum_i[c + 1] - self._cum_i[c]
 
     def range_of(self, c: int) -> tuple[int, int]:
         """Closed 0-based row range ``[lo, hi]`` of symbol ``c``'s block.
@@ -79,24 +84,24 @@ class CumulativeCounts:
         """
         if not 0 <= c < self._sigma:
             raise ValidationError(f"symbol {c} out of range [0, {self._sigma})")
-        return int(self._cum[c]), int(self._cum[c + 1]) - 1
+        return self._cum_i[c], self._cum_i[c + 1] - 1
 
     def block_of(self, row: int) -> int:
         """Symbol whose block contains sorted-table ``row`` (0-based)."""
         if not 0 <= row < self._n:
             raise ValidationError(f"row {row} out of range [0, {self._n})")
         # _cum is nondecreasing; find rightmost c with _cum[c] <= row.
-        return int(np.searchsorted(self._cum, row, side="right")) - 1
+        return bisect_right(self._cum_i, row) - 1
 
     def next_nonempty(self, c: int) -> int | None:
         """Smallest symbol ``>= c`` whose block is non-empty, or ``None``."""
         if c >= self._sigma:
             return None
         c = max(c, 0)
-        base = self._cum[c]
-        # First index > c where the cumulative count increases past _cum[c].
-        idx = int(np.searchsorted(self._cum[c + 1 :], base, side="right"))
-        sym = c + idx
+        base = self._cum_i[c]
+        # First position > c where the cumulative count exceeds _cum[c];
+        # the symbol just before it owns the first non-empty block >= c.
+        sym = bisect_right(self._cum_i, base, c + 1) - 1
         if sym >= self._sigma:
             return None
         return sym

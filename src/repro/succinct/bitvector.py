@@ -9,6 +9,16 @@ bit — keeping the whole index within a small constant of the
 information-theoretic size, which the space experiment (Sec. 6.2)
 depends on.
 
+Hot-path layout (see ``docs/performance.md``): alongside the canonical
+numpy buffers the constructor materializes *word caches* — plain Python
+``list``\\ s of the words and cumulative counts — so the per-call kernel
+never unboxes a numpy scalar; in-word select uses the precomputed 16-bit
+popcount/select tables of :mod:`repro.succinct.tables`; and every public
+operation validates once, then delegates to an unchecked ``_*_u``
+variant that internal callers (:class:`~repro.succinct.wavelet_tree.
+WaveletTree`, the Ring, the K-NN structures) may invoke directly when
+their arguments are in-range by construction.
+
 Conventions (0-based, half-open):
 
 * ``rank1(i)``  = number of set bits among positions ``[0, i)``.
@@ -17,30 +27,19 @@ Conventions (0-based, half-open):
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Iterable, Iterator
 
 import numpy as np
 
+from repro.succinct.tables import select_in_word
 from repro.utils.errors import StructureError, ValidationError
 
 _FULL_WORD = (1 << 64) - 1
 
-
-def _select_in_word(word: int, need: int) -> int:
-    """0-based position of the ``need``-th (1-based) set bit of ``word``."""
-    offset = 0
-    while True:
-        byte = word & 0xFF
-        count = byte.bit_count()
-        if need <= count:
-            for bit in range(8):
-                if (byte >> bit) & 1:
-                    need -= 1
-                    if need == 0:
-                        return offset + bit
-        need -= count
-        word >>= 8
-        offset += 8
+# Kept as a module-level alias for callers that imported the historical
+# helper; the table-backed implementation lives in repro.succinct.tables.
+_select_in_word = select_in_word
 
 
 class BitVector:
@@ -70,6 +69,12 @@ class BitVector:
             64 * np.arange(n_words + 1, dtype=np.int64), self._n
         )
         self._cum0 = boundaries - self._cum1
+        # Hot-path word caches: plain Python ints, so rank/select avoid
+        # numpy scalar boxing entirely (the numpy buffers above remain
+        # the canonical representation and what size_in_bytes reports).
+        self._words_i: list[int] = self._words.tolist()
+        self._cum1_i: list[int] = self._cum1.tolist()
+        self._cum0_i: list[int] = self._cum0.tolist()
 
     # ------------------------------------------------------------------
     # basic introspection
@@ -78,8 +83,8 @@ class BitVector:
         return self._n
 
     def __iter__(self) -> Iterator[int]:
-        for i in range(self._n):
-            yield self.access(i)
+        # One vectorized expansion instead of n validated access() calls.
+        return iter(self.to_array().tolist())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         head = "".join(str(self.access(i)) for i in range(min(self._n, 32)))
@@ -89,12 +94,12 @@ class BitVector:
     @property
     def n_ones(self) -> int:
         """Total number of set bits."""
-        return int(self._cum1[-1])
+        return self._cum1_i[-1]
 
     @property
     def n_zeros(self) -> int:
         """Total number of clear bits."""
-        return self._n - self.n_ones
+        return self._n - self._cum1_i[-1]
 
     def size_in_bytes(self) -> int:
         """Bytes used by the underlying numpy buffers."""
@@ -107,23 +112,40 @@ class BitVector:
         """Return bit ``i``."""
         if not 0 <= i < self._n:
             raise ValidationError(f"access index {i} out of range [0, {self._n})")
-        return int((int(self._words[i >> 6]) >> (i & 63)) & 1)
+        return (self._words_i[i >> 6] >> (i & 63)) & 1
+
+    def _access_u(self, i: int) -> int:
+        """Unchecked :meth:`access` (``0 <= i < n`` is the caller's bond)."""
+        return (self._words_i[i >> 6] >> (i & 63)) & 1
 
     def rank1(self, i: int) -> int:
         """Number of 1-bits in positions ``[0, i)``; ``i`` in ``[0, n]``."""
         if not 0 <= i <= self._n:
             raise ValidationError(f"rank index {i} out of range [0, {self._n}]")
-        w = i >> 6
         rem = i & 63
-        partial = 0
         if rem:
-            mask = (1 << rem) - 1
-            partial = (int(self._words[w]) & mask).bit_count()
-        return int(self._cum1[w]) + partial
+            w = i >> 6
+            return self._cum1_i[w] + (
+                self._words_i[w] & ((1 << rem) - 1)
+            ).bit_count()
+        return self._cum1_i[i >> 6]
+
+    def _rank1_u(self, i: int) -> int:
+        """Unchecked :meth:`rank1` (``0 <= i <= n`` is the caller's bond)."""
+        rem = i & 63
+        if rem:
+            w = i >> 6
+            return self._cum1_i[w] + (
+                self._words_i[w] & ((1 << rem) - 1)
+            ).bit_count()
+        return self._cum1_i[i >> 6]
 
     def rank0(self, i: int) -> int:
         """Number of 0-bits in positions ``[0, i)``."""
         return i - self.rank1(i)
+
+    def _rank0_u(self, i: int) -> int:
+        return i - self._rank1_u(i)
 
     def select1(self, j: int) -> int:
         """Position of the ``j``-th 1-bit (``j`` counted from 1)."""
@@ -131,10 +153,15 @@ class BitVector:
             raise StructureError(
                 f"select1({j}) out of range: vector has {self.n_ones} ones"
             )
+        return self._select1_u(j)
+
+    def _select1_u(self, j: int) -> int:
+        """Unchecked :meth:`select1` (``1 <= j <= n_ones``)."""
         # First word whose cumulative count reaches j.
-        w = int(np.searchsorted(self._cum1, j, side="left")) - 1
-        need = j - int(self._cum1[w])
-        return 64 * w + _select_in_word(int(self._words[w]), need)
+        w = bisect_left(self._cum1_i, j) - 1
+        return (w << 6) + select_in_word(
+            self._words_i[w], j - self._cum1_i[w]
+        )
 
     def select0(self, j: int) -> int:
         """Position of the ``j``-th 0-bit (``j`` counted from 1)."""
@@ -142,11 +169,16 @@ class BitVector:
             raise StructureError(
                 f"select0({j}) out of range: vector has {self.n_zeros} zeros"
             )
-        w = int(np.searchsorted(self._cum0, j, side="left")) - 1
-        need = j - int(self._cum0[w])
-        valid = min(64, self._n - 64 * w)
-        inverted = ~int(self._words[w]) & ((1 << valid) - 1)
-        return 64 * w + _select_in_word(inverted, need)
+        return self._select0_u(j)
+
+    def _select0_u(self, j: int) -> int:
+        """Unchecked :meth:`select0` (``1 <= j <= n_zeros``)."""
+        w = bisect_left(self._cum0_i, j) - 1
+        valid = self._n - (w << 6)
+        if valid > 64:
+            valid = 64
+        inverted = ~self._words_i[w] & ((1 << valid) - 1)
+        return (w << 6) + select_in_word(inverted, j - self._cum0_i[w])
 
     # ------------------------------------------------------------------
     # derived conveniences
@@ -155,10 +187,10 @@ class BitVector:
         """Position of the first 1-bit at position >= ``i``, or ``None``."""
         if i >= self._n:
             return None
-        r = self.rank1(max(i, 0))
-        if r + 1 > self.n_ones:
+        r = self._rank1_u(i if i > 0 else 0)
+        if r + 1 > self._cum1_i[-1]:
             return None
-        return self.select1(r + 1)
+        return self._select1_u(r + 1)
 
     def rank1_range(self, lo: int, hi: int) -> int:
         """Number of 1-bits in the closed range ``[lo, hi]``."""

@@ -1,0 +1,59 @@
+"""Precomputed 16-bit popcount/select lookup tables for the hot kernel.
+
+Built once at import (vectorized, a few milliseconds) and stored as
+plain Python lists so the per-call cost in :mod:`repro.succinct.bitvector`
+is a single ``list`` subscript — no numpy scalar boxing on the hot path.
+
+* ``POPCOUNT16[w]`` — number of set bits of the 16-bit word ``w``.
+* ``SELECT16[w]`` — the 16 select answers of ``w`` packed into one
+  integer, 4 bits per answer: nibble ``j`` (0-based) holds the position
+  of the ``(j+1)``-th set bit. Unset nibbles (``j >= popcount``) are 0
+  and must never be consulted; callers reduce ``need`` below 16 first.
+
+With these, ``select`` inside a 64-bit word is at most four popcount
+table probes plus one packed-select probe, replacing the former
+byte-at-a-time loop with an inner per-bit scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _build_tables() -> tuple[list[int], list[int]]:
+    codes = np.arange(1 << 16, dtype=np.uint32)
+    bits = ((codes[:, None] >> np.arange(16, dtype=np.uint32)[None, :]) & 1).astype(
+        np.uint8
+    )
+    popcount = bits.sum(axis=1).astype(np.int64)
+    # ranks[w, p] = number of set bits of w among positions [0, p].
+    ranks = bits.cumsum(axis=1).astype(np.uint64)
+    packed = np.zeros(1 << 16, dtype=np.uint64)
+    # Pack position p into nibble j = rank-1 of every word whose bit p is
+    # set; 16 fully-vectorized passes beat a half-million-element scatter.
+    for p in range(16):
+        mask = bits[:, p].astype(bool)
+        nibble = (ranks[mask, p] - 1) << np.uint64(2)
+        packed[mask] |= np.uint64(p) << nibble
+    return popcount.tolist(), packed.tolist()
+
+
+POPCOUNT16, SELECT16 = _build_tables()
+
+
+def select_in_word(word: int, need: int) -> int:
+    """0-based position of the ``need``-th (1-based) set bit of ``word``.
+
+    ``word`` is a non-negative int of at most 64 bits; callers guarantee
+    ``1 <= need <= popcount(word)``.
+    """
+    chunk = word & 0xFFFF
+    count = POPCOUNT16[chunk]
+    offset = 0
+    while need > count:
+        need -= count
+        word >>= 16
+        offset += 16
+        chunk = word & 0xFFFF
+        count = POPCOUNT16[chunk]
+    return offset + ((SELECT16[chunk] >> ((need - 1) << 2)) & 0xF)

@@ -15,6 +15,18 @@ The construction performs a stable radix partition level by level, so the
 bits of level ``l`` are laid out exactly as in the textbook pointerless
 wavelet tree: the children of a node occupy the node's own position span
 on the next level, zeros before ones.
+
+Hot-path notes (see ``docs/performance.md``): arguments are validated
+once at this public boundary, after which every descent uses the
+bitvectors' unchecked ``_*_u`` kernels; and an optional *per-query memo*
+(:meth:`begin_query_memo` / :meth:`end_query_memo`, attached by
+:class:`repro.ltj.engine.LTJEngine` for the duration of one evaluation)
+caches ``rank`` and ``range_next_value`` traversals, which leapfrog
+intersections repeat heavily while backtracking. The structure is
+immutable, so cached answers can never go stale; the query scoping only
+bounds the memo's memory. Op counters (``self.ops``) count *logical*
+operations and are incremented before any memo lookup, so traced
+operation counts are identical with and without memoization.
 """
 
 from __future__ import annotations
@@ -25,6 +37,13 @@ import numpy as np
 
 from repro.succinct.bitvector import BitVector
 from repro.utils.errors import StructureError, ValidationError
+
+# Per-memo entry cap: a query that somehow accumulates more distinct
+# (rank / range_next_value) argument tuples than this simply restarts
+# the dictionary, keeping worst-case memory bounded.
+_MEMO_CAP = 1 << 15
+
+_MISS = object()
 
 
 class WaveletTree:
@@ -63,11 +82,15 @@ class WaveletTree:
             np.zeros(alphabet_size, dtype=np.int64)
         )
         self._counts = counts.astype(np.int64)
+        self._counts_i: list[int] = self._counts.tolist()
         self.ops = None
         """Optional :class:`repro.obs.trace.OpCounters`. ``None`` (the
         default) disables op counting entirely; a traced evaluation
         attaches counters for its duration (see
         :func:`repro.obs.trace.attach_wavelets`)."""
+        self._memo_users = 0
+        self._memo_rank: dict | None = None
+        self._memo_next: dict | None = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -91,7 +114,31 @@ class WaveletTree:
         """Total occurrences of symbol ``c`` in the whole sequence."""
         if not 0 <= c < self._sigma:
             raise ValidationError(f"symbol {c} out of range [0, {self._sigma})")
-        return int(self._counts[c])
+        return self._counts_i[c]
+
+    # ------------------------------------------------------------------
+    # per-query memoization (attached by the LTJ engine)
+    # ------------------------------------------------------------------
+    def begin_query_memo(self) -> None:
+        """Enable (or share) the per-query rank/leap memo.
+
+        Reference-counted so overlapping evaluations over shared index
+        structures compose: the memo is dropped when the last evaluation
+        ends. Cached entries are always valid (the tree is immutable);
+        scoping them to a query merely bounds memory.
+        """
+        if self._memo_users == 0:
+            self._memo_rank = {}
+            self._memo_next = {}
+        self._memo_users += 1
+
+    def end_query_memo(self) -> None:
+        """Release one memo user (see :meth:`begin_query_memo`)."""
+        if self._memo_users > 0:
+            self._memo_users -= 1
+            if self._memo_users == 0:
+                self._memo_rank = None
+                self._memo_next = None
 
     # ------------------------------------------------------------------
     # classic operations
@@ -105,15 +152,15 @@ class WaveletTree:
         lo, hi = 0, self._n
         value = 0
         for bv in self._levels:
-            bit = bv.access(i)
+            bit = bv._access_u(i)
             value = (value << 1) | bit
-            ones_before_node = bv.rank1(lo)
-            zeros_in_node = (hi - lo) - (bv.rank1(hi) - ones_before_node)
+            ones_before_node = bv._rank1_u(lo)
+            zeros_in_node = (hi - lo) - (bv._rank1_u(hi) - ones_before_node)
             if bit == 0:
-                i = lo + (bv.rank0(i) - bv.rank0(lo))
+                i = lo + (bv._rank0_u(i) - bv._rank0_u(lo))
                 hi = lo + zeros_in_node
             else:
-                i = lo + zeros_in_node + (bv.rank1(i) - ones_before_node)
+                i = lo + zeros_in_node + (bv._rank1_u(i) - ones_before_node)
                 lo = lo + zeros_in_node
         return value
 
@@ -125,20 +172,35 @@ class WaveletTree:
             raise ValidationError(f"symbol {c} out of range [0, {self._sigma})")
         if not 0 <= i <= self._n:
             raise ValidationError(f"rank index {i} out of range [0, {self._n}]")
+        memo = self._memo_rank
+        if memo is not None:
+            key = (c, i)
+            hit = memo.get(key, _MISS)
+            if hit is not _MISS:
+                return hit
+        result = self._rank_u(c, i)
+        if memo is not None:
+            if len(memo) >= _MEMO_CAP:
+                memo.clear()
+            memo[key] = result
+        return result
+
+    def _rank_u(self, c: int, i: int) -> int:
         lo, hi = 0, self._n
         pos = i
-        for level, bv in enumerate(self._levels):
+        shift = self._height - 1
+        for bv in self._levels:
             if pos <= lo:
                 return 0
-            bit = (c >> (self._height - 1 - level)) & 1
-            ones_before_node = bv.rank1(lo)
-            zeros_in_node = (hi - lo) - (bv.rank1(hi) - ones_before_node)
-            if bit == 0:
-                pos = lo + (bv.rank0(pos) - bv.rank0(lo))
-                hi = lo + zeros_in_node
-            else:
-                pos = lo + zeros_in_node + (bv.rank1(pos) - ones_before_node)
+            ones_before_node = bv._rank1_u(lo)
+            zeros_in_node = (hi - lo) - (bv._rank1_u(hi) - ones_before_node)
+            if (c >> shift) & 1:
+                pos = lo + zeros_in_node + (bv._rank1_u(pos) - ones_before_node)
                 lo = lo + zeros_in_node
+            else:
+                pos = lo + (bv._rank0_u(pos) - bv._rank0_u(lo))
+                hi = lo + zeros_in_node
+            shift -= 1
         return pos - lo
 
     def rank_range(self, c: int, lo: int, hi: int) -> int:
@@ -153,9 +215,9 @@ class WaveletTree:
             self.ops.select += 1
         if not 0 <= c < self._sigma:
             raise ValidationError(f"symbol {c} out of range [0, {self._sigma})")
-        if not 1 <= j <= int(self._counts[c]):
+        if not 1 <= j <= self._counts_i[c]:
             raise StructureError(
-                f"select({c}, {j}) out of range: {int(self._counts[c])} occurrences"
+                f"select({c}, {j}) out of range: {self._counts_i[c]} occurrences"
             )
         # Descend to the leaf to collect node boundaries, then walk back up.
         nodes: list[tuple[int, int]] = []
@@ -163,8 +225,8 @@ class WaveletTree:
         for level, bv in enumerate(self._levels):
             nodes.append((lo, hi))
             bit = (c >> (self._height - 1 - level)) & 1
-            ones_before_node = bv.rank1(lo)
-            zeros_in_node = (hi - lo) - (bv.rank1(hi) - ones_before_node)
+            ones_before_node = bv._rank1_u(lo)
+            zeros_in_node = (hi - lo) - (bv._rank1_u(hi) - ones_before_node)
             if bit == 0:
                 hi = lo + zeros_in_node
             else:
@@ -175,9 +237,9 @@ class WaveletTree:
             node_lo, _node_hi = nodes[level]
             bit = (c >> (self._height - 1 - level)) & 1
             if bit == 0:
-                offset = bv.select0(bv.rank0(node_lo) + offset + 1) - node_lo
+                offset = bv._select0_u(bv._rank0_u(node_lo) + offset + 1) - node_lo
             else:
-                offset = bv.select1(bv.rank1(node_lo) + offset + 1) - node_lo
+                offset = bv._select1_u(bv._rank1_u(node_lo) + offset + 1) - node_lo
         return nodes[0][0] + offset
 
     def select_next(self, c: int, start: int) -> int | None:
@@ -185,7 +247,7 @@ class WaveletTree:
         if start >= self._n:
             return None
         r = self.rank(c, max(start, 0))
-        if r + 1 > int(self._counts[c]):
+        if r + 1 > self._counts_i[c]:
             return None
         return self.select(c, r + 1)
 
@@ -206,8 +268,22 @@ class WaveletTree:
             raise ValidationError(f"range [{lo}, {hi}] out of [0, {self._n})")
         if c >= self._sigma:
             return None
-        c = max(c, 0)
-        return self._next_value(0, 0, self._n, lo, hi + 1, 0, c)
+        return self._next_value_cached(lo, hi + 1, c if c > 0 else 0)
+
+    def _next_value_cached(self, lo: int, hi_excl: int, c: int) -> int | None:
+        """Memo wrapper over :meth:`_next_value` (args pre-validated)."""
+        memo = self._memo_next
+        if memo is not None:
+            key = (lo, hi_excl, c)
+            hit = memo.get(key, _MISS)
+            if hit is not _MISS:
+                return hit
+        result = self._next_value(0, 0, self._n, lo, hi_excl, 0, c)
+        if memo is not None:
+            if len(memo) >= _MEMO_CAP:
+                memo.clear()
+            memo[key] = result
+        return result
 
     def _next_value(
         self,
@@ -229,20 +305,21 @@ class WaveletTree:
             return None
         span_bits = self._height - level
         node_min = prefix << span_bits
-        node_max = node_min + (1 << span_bits) - 1
-        if node_max < c:
+        if node_min + (1 << span_bits) - 1 < c:
             return None
         if level == self._height:
             return prefix
         bv = self._levels[level]
-        ones_before_node = bv.rank1(node_lo)
-        zeros_node = (node_hi - node_lo) - (bv.rank1(node_hi) - ones_before_node)
-        zeros_before_rlo = bv.rank0(r_lo) - bv.rank0(node_lo)
-        zeros_before_rhi = bv.rank0(r_hi) - bv.rank0(node_lo)
+        ones_before_node = bv._rank1_u(node_lo)
+        zeros_node = (node_hi - node_lo) - (bv._rank1_u(node_hi) - ones_before_node)
+        zeros_before_node = bv._rank0_u(node_lo)
+        zeros_before_rlo = bv._rank0_u(r_lo) - zeros_before_node
+        zeros_before_rhi = bv._rank0_u(r_hi) - zeros_before_node
         ones_before_rlo = (r_lo - node_lo) - zeros_before_rlo
         ones_before_rhi = (r_hi - node_lo) - zeros_before_rhi
-        left_lo, left_hi = node_lo, node_lo + zeros_node
-        right_lo, right_hi = node_lo + zeros_node, node_hi
+        left_lo = node_lo
+        left_hi = node_lo + zeros_node
+        right_lo = left_hi
         if node_min >= c:
             # Entire node qualifies: return its range minimum.
             if zeros_before_rhi > zeros_before_rlo:
@@ -252,7 +329,7 @@ class WaveletTree:
                     prefix << 1, c,
                 )
             return self._next_value(
-                level + 1, right_lo, right_hi,
+                level + 1, right_lo, node_hi,
                 right_lo + ones_before_rlo, right_lo + ones_before_rhi,
                 (prefix << 1) | 1, c,
             )
@@ -265,7 +342,7 @@ class WaveletTree:
         if found is not None:
             return found
         return self._next_value(
-            level + 1, right_lo, right_hi,
+            level + 1, right_lo, node_hi,
             right_lo + ones_before_rlo, right_lo + ones_before_rhi,
             (prefix << 1) | 1, c,
         )
@@ -309,10 +386,11 @@ class WaveletTree:
         if a <= node_min and node_max <= b:
             return r_hi - r_lo
         bv = self._levels[level]
-        ones_before_node = bv.rank1(node_lo)
-        zeros_node = (node_hi - node_lo) - (bv.rank1(node_hi) - ones_before_node)
-        zeros_before_rlo = bv.rank0(r_lo) - bv.rank0(node_lo)
-        zeros_before_rhi = bv.rank0(r_hi) - bv.rank0(node_lo)
+        ones_before_node = bv._rank1_u(node_lo)
+        zeros_node = (node_hi - node_lo) - (bv._rank1_u(node_hi) - ones_before_node)
+        zeros_before_node = bv._rank0_u(node_lo)
+        zeros_before_rlo = bv._rank0_u(r_lo) - zeros_before_node
+        zeros_before_rhi = bv._rank0_u(r_hi) - zeros_before_node
         ones_before_rlo = (r_lo - node_lo) - zeros_before_rlo
         ones_before_rhi = (r_hi - node_lo) - zeros_before_rhi
         left_lo = node_lo
@@ -345,12 +423,13 @@ class WaveletTree:
         r_lo, r_hi = lo, hi + 1
         value = 0
         for bv in self._levels:
-            ones_before_node = bv.rank1(node_lo)
+            ones_before_node = bv._rank1_u(node_lo)
             zeros_node = (node_hi - node_lo) - (
-                bv.rank1(node_hi) - ones_before_node
+                bv._rank1_u(node_hi) - ones_before_node
             )
-            zeros_before_rlo = bv.rank0(r_lo) - bv.rank0(node_lo)
-            zeros_before_rhi = bv.rank0(r_hi) - bv.rank0(node_lo)
+            zeros_before_node = bv._rank0_u(node_lo)
+            zeros_before_rlo = bv._rank0_u(r_lo) - zeros_before_node
+            zeros_before_rhi = bv._rank0_u(r_hi) - zeros_before_node
             zeros_in_range = zeros_before_rhi - zeros_before_rlo
             ones_before_rlo = (r_lo - node_lo) - zeros_before_rlo
             ones_before_rhi = (r_hi - node_lo) - zeros_before_rhi
@@ -392,7 +471,7 @@ class WaveletTree:
         while True:
             if self.ops is not None:
                 self.ops.range_next += 1
-            value = self._next_value(0, 0, self._n, lo, hi + 1, 0, c)
+            value = self._next_value_cached(lo, hi + 1, c)
             if value is None:
                 return
             yield value

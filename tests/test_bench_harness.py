@@ -1,0 +1,177 @@
+"""Unit tests for the ``repro bench`` regression harness.
+
+These exercise the document/diff machinery on small synthetic documents
+(no workload runs): exact gating of deterministic counters, wall-time
+tolerance with calibration normalization, the timeout quarantine rules,
+and document round-tripping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    BENCH_VERSION,
+    BenchConfig,
+    calibrate,
+    diff_bench,
+    format_diff,
+    load_bench,
+    write_bench,
+)
+from repro.utils.errors import ValidationError
+
+
+def _doc(
+    *,
+    calibration=1.0,
+    q1_s=1.0,
+    q1_solutions=10,
+    q1_timeouts=0,
+    rank=100,
+    micro_s=0.5,
+):
+    return {
+        "version": BENCH_VERSION,
+        "date": "2026-08-06",
+        "label": "synthetic",
+        "config": {},
+        "calibration_s": calibration,
+        "figure2": {
+            "Q1/ring-knn": {
+                "queries": 2,
+                "total_s": q1_s,
+                "mean_s": q1_s / 2,
+                "max_s": q1_s,
+                "solutions": q1_solutions,
+                "timeouts": q1_timeouts,
+            },
+        },
+        "opcounts": {
+            "Q1/ring-knn": {
+                "stats": {"solutions": q1_solutions, "leap_calls": 40},
+                "wavelets": {"ring": {"rank": rank, "total": rank}},
+            },
+        },
+        "micro": {
+            "bv_rank1": {"ops": 100, "total_s": micro_s, "ops_per_s": 100 / micro_s},
+        },
+        "totals": {
+            "figure2_wall_s": q1_s,
+            "micro_wall_s": micro_s,
+            "wavelet_ops": rank,
+        },
+    }
+
+
+def test_identical_documents_pass():
+    diff = diff_bench(_doc(), _doc(), tolerance=0.2)
+    assert diff.ok
+    assert not diff.mismatches
+    assert not diff.regressions
+    assert "PASS" in format_diff(diff, 0.2)
+
+
+def test_opcount_mismatch_fails_regardless_of_speed():
+    diff = diff_bench(_doc(rank=100), _doc(rank=99, q1_s=0.1), tolerance=0.2)
+    assert not diff.ok
+    assert any("wavelets:ring:rank" in m for m in diff.mismatches)
+    assert "FAIL" in format_diff(diff, 0.2)
+
+
+def test_solution_mismatch_fails_when_completed():
+    diff = diff_bench(_doc(q1_solutions=10), _doc(q1_solutions=11))
+    assert not diff.ok
+    # Both the timed-pass and the traced-pass solution counters fire.
+    assert any("figure2:Q1/ring-knn:solutions" in m for m in diff.mismatches)
+
+
+def test_wall_regression_beyond_tolerance_fails():
+    diff = diff_bench(_doc(q1_s=1.0), _doc(q1_s=1.5), tolerance=0.2)
+    assert not diff.ok
+    assert any("figure2:Q1/ring-knn" in r for r in diff.regressions)
+
+
+def test_wall_slowdown_within_tolerance_passes():
+    diff = diff_bench(_doc(q1_s=1.0), _doc(q1_s=1.1), tolerance=0.2)
+    assert diff.ok
+
+
+def test_millisecond_jitter_below_noise_floor_passes():
+    """A 6ms entry drifting to 9ms is 50% 'slower' but pure jitter; the
+    absolute floor keeps it informational rather than gating."""
+    diff = diff_bench(
+        _doc(q1_s=0.006, micro_s=0.004),
+        _doc(q1_s=0.009, micro_s=0.006),
+        tolerance=0.2,
+    )
+    assert diff.ok, diff.regressions
+
+
+def test_noise_floor_does_not_hide_large_regressions():
+    diff = diff_bench(_doc(q1_s=1.0), _doc(q1_s=2.0), tolerance=0.2)
+    assert any("figure2:Q1/ring-knn" in r for r in diff.regressions)
+
+
+def test_calibration_scaling_excuses_a_slower_machine():
+    before = _doc(calibration=1.0, q1_s=1.0, micro_s=0.5)
+    after = _doc(calibration=2.0, q1_s=1.8, micro_s=0.9)
+    assert not diff_bench(before, after, use_calibration=False).ok
+    scaled = diff_bench(before, after, use_calibration=True)
+    assert scaled.ok
+    assert scaled.scale == pytest.approx(2.0)
+
+
+def test_timed_pass_solutions_not_compared_after_timeout():
+    """A query that hits the cap stops at a wall-clock-dependent point;
+    its timed-pass solution count is noise, not signal. The traced-pass
+    counters (which ran without a timeout) still gate correctness."""
+    before = _doc(q1_timeouts=1, q1_solutions=10)
+    after = _doc(q1_timeouts=0, q1_solutions=10)
+    # Perturb only the timed-pass solutions: must not fail the diff.
+    before["figure2"]["Q1/ring-knn"]["solutions"] = 3
+    diff = diff_bench(before, after)
+    assert diff.ok, (diff.mismatches, diff.regressions)
+
+
+def test_both_sides_saturated_wall_time_ignored():
+    before = _doc(q1_timeouts=1, q1_s=60.0)
+    after = _doc(q1_timeouts=1, q1_s=60.0)
+    # Tighten after's time artificially to prove the entry is skipped
+    # rather than compared: a 10x "regression" at the cap is invisible...
+    before["figure2"]["Q1/ring-knn"]["total_s"] = 6.0
+    diff = diff_bench(before, after, tolerance=0.01)
+    assert not any("figure2:Q1/ring-knn" in r for r in diff.regressions)
+
+
+def test_one_sided_timeout_still_flags_regression():
+    # ...but a query that only times out in `after` is a real regression.
+    before = _doc(q1_timeouts=0, q1_s=1.0)
+    after = _doc(q1_timeouts=1, q1_s=60.0)
+    diff = diff_bench(before, after, tolerance=0.2)
+    assert any("figure2:Q1/ring-knn" in r for r in diff.regressions)
+
+
+def test_completed_in_both_total_reported():
+    diff = diff_bench(_doc(q1_s=4.0), _doc(q1_s=1.0))
+    assert any("figure2-completed-in-both:TOTAL" in line for line in diff.lines)
+
+
+def test_roundtrip_and_version_check(tmp_path):
+    doc = _doc()
+    path = tmp_path / "BENCH_test.json"
+    write_bench(doc, str(path))
+    assert load_bench(str(path)) == doc
+    doc["version"] = BENCH_VERSION + 1
+    write_bench(doc, str(path))
+    with pytest.raises(ValidationError):
+        load_bench(str(path))
+
+
+def test_config_rejects_unknown_engine():
+    with pytest.raises(ValidationError):
+        BenchConfig(engines=("ring-knn", "warp-drive"))
+
+
+def test_calibration_returns_positive_time():
+    assert calibrate(rounds=1) > 0.0

@@ -159,3 +159,80 @@ def test_select_matches_reference(bits):
         assert bv.select1(j) == pos
     for j, pos in enumerate(zeros, start=1):
         assert bv.select0(j) == pos
+
+
+class TestWordBoundarySelect:
+    """select0/select1 when ``j`` lands exactly on a per-word cumulative
+    count (the binary search over ``_cum`` must pick the right word)."""
+
+    def test_select1_at_exact_word_cumulative(self):
+        # Word 0: 64 ones; word 1: 64 zeros; word 2: a single one.
+        bits = [1] * 64 + [0] * 64 + [1]
+        bv = BitVector(bits)
+        assert bv.select1(64) == 63    # j == _cum1[1]: last one of word 0
+        assert bv.select1(65) == 128   # j == _cum1[3]: the one in word 2
+        assert bv.select0(64) == 127   # j == cumulative zeros after word 1
+
+    def test_select1_word_with_zero_ones_skipped(self):
+        # Word 1 contributes no ones: the cumulative array has a plateau
+        # and the search must not land inside it.
+        bits = [1] * 64 + [0] * 64 + [1] * 64
+        bv = BitVector(bits)
+        assert bv.select1(64) == 63
+        assert bv.select1(65) == 128
+        assert bv.select1(128) == 191
+
+    def test_select0_word_with_zero_zeros_skipped(self):
+        bits = [0] * 64 + [1] * 64 + [0] * 64
+        bv = BitVector(bits)
+        assert bv.select0(64) == 63
+        assert bv.select0(65) == 128
+        assert bv.select0(128) == 191
+
+    def test_select0_ignores_padding_past_n(self):
+        # n = 70: the last word has 58 padding bits that must never be
+        # reported as zeros.
+        bits = [1] * 70
+        bv = BitVector(bits)
+        assert bv.n_zeros == 0
+        with pytest.raises(StructureError):
+            bv.select0(1)
+        bits = [1] * 69 + [0]
+        bv = BitVector(bits)
+        assert bv.n_zeros == 1
+        assert bv.select0(1) == 69
+        with pytest.raises(StructureError):
+            bv.select0(2)
+
+    def test_select_single_bit_last_position_of_word(self):
+        bits = [0] * 63 + [1]
+        bv = BitVector(bits)
+        assert bv.select1(1) == 63
+        assert bv.select0(63) == 62
+
+
+class TestNextOneBoundaries:
+    def test_next_one_at_last_position(self):
+        bv = BitVector([0] * 99 + [1])
+        assert bv.next_one(99) == 99
+        bv = BitVector([1] * 99 + [0])
+        assert bv.next_one(99) is None
+
+    def test_next_one_at_zero(self):
+        assert BitVector([1, 0]).next_one(0) == 0
+        assert BitVector([0, 1]).next_one(0) == 1
+        assert BitVector([0, 0]).next_one(0) is None
+
+    def test_next_one_past_the_end(self):
+        bv = BitVector([1] * 10)
+        assert bv.next_one(10) is None
+        assert bv.next_one(1000) is None
+        assert BitVector([]).next_one(0) is None
+
+
+def test_iteration_equals_to_array_tolist():
+    rng = np.random.default_rng(11)
+    for n in (0, 1, 63, 64, 65, 200):
+        bits = rng.integers(0, 2, n)
+        bv = BitVector(bits)
+        assert list(bv) == bv.to_array().tolist()

@@ -1,0 +1,100 @@
+"""Golden op-count regression tests over the canonical Figure-2 queries.
+
+Leapfrog leap/attempt/binding counts and the per-structure wavelet-tree
+operation counters are *deterministic*: they depend only on the code,
+the generator seeds, and the workload — never on the machine or on wall
+time. This pins them to a checked-in fixture so any change to the
+succinct kernel, the relation adapters, or the LTJ engine that alters
+the number of logical operations (rather than only their cost) fails
+loudly.
+
+Regenerate after an *intentional* algorithmic change with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_opcounts.py
+
+and commit the updated ``tests/golden/figure2_opcounts.json`` alongside
+an explanation of why the counts moved. A kernel optimization that only
+speeds up operations must leave this file byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.harness import BenchConfig, _build, collect_opcounts
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "figure2_opcounts.json"
+
+# Canonical tiny-scale setup: small enough for the tier-1 suite, large
+# enough that every family issues thousands of wavelet ops. The baseline
+# engine is omitted only for runtime; it shares the same succinct
+# structures, so its ops are covered by the Ring/K-NN counters here.
+CONFIG = BenchConfig(
+    entities=120,
+    images=60,
+    misc_triples=600,
+    big_k=8,
+    seed=7,
+    k=5,
+    queries=2,
+    workload_seed=2,
+    engines=("ring-knn", "ring-knn-s"),
+    micro=False,
+)
+
+
+@pytest.fixture(scope="module")
+def observed() -> dict:
+    db, workload = _build(CONFIG)
+    return collect_opcounts(db, workload, CONFIG.engines)
+
+
+def test_golden_opcounts_match_fixture(observed):
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(observed, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"missing fixture {GOLDEN_PATH}; run with REGEN_GOLDEN=1 to create"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert observed.keys() == golden.keys()
+    for key in sorted(golden):
+        assert observed[key] == golden[key], (
+            f"op counts diverged for {key} — if the algorithm changed "
+            f"intentionally, regenerate with REGEN_GOLDEN=1"
+        )
+
+
+def test_golden_counts_are_nontrivial(observed):
+    """Guard against the fixture silently pinning an empty measurement."""
+    total_wavelet_ops = sum(
+        bucket.get("total", 0)
+        for entry in observed.values()
+        for bucket in entry["wavelets"].values()
+    )
+    total_solutions = sum(
+        entry["stats"]["solutions"] for entry in observed.values()
+    )
+    assert total_wavelet_ops > 10_000
+    assert total_solutions > 0
+    assert all(entry["stats"]["leap_calls"] > 0 for entry in observed.values())
+
+
+def test_golden_engines_agree_on_solutions(observed):
+    """ring-knn and ring-knn-s must count identical solutions per family
+    (different orderings, same semantics)."""
+    families = {key.split("/")[0] for key in observed}
+    for family in sorted(families):
+        counts = {
+            key: entry["stats"]["solutions"]
+            for key, entry in observed.items()
+            if key.startswith(f"{family}/")
+        }
+        assert len(set(counts.values())) == 1, counts
