@@ -8,21 +8,14 @@ clauses, the Ring-KNN / Ring-KNN-S variable orderings, the Sec. 5.3
 baseline, the output-size linear programs, and the full experimental
 harness (Figures 2-3 plus the space and materialization measurements).
 
-Quickstart::
+Start with the worked examples rather than inline snippets — they stay
+runnable (and seeded, per the RPL004 determinism rule)::
 
-    import numpy as np
-    from repro import (
-        GraphData, GraphDatabase, RingKnnEngine, build_knn_graph, parse_query,
-    )
+    python examples/quickstart.py        # graph + K-NN + one mixed query
+    python examples/query_plans.py       # EXPLAIN / EXPLAIN ANALYZE tour
 
-    graph = GraphData([(0, 9, 1), (1, 9, 2), (2, 9, 3)])
-    points = np.random.default_rng(0).normal(size=(4, 2))
-    knn = build_knn_graph(points, K=2)
-    db = GraphDatabase(graph, knn)
-    result = RingKnnEngine(db).evaluate(
-        parse_query("(?x, 9, ?y) . knn(?x, ?y, 2)")
-    )
-    print(result.solutions)
+``examples/`` also covers multimedia search, social recommendation and
+geo range joins; the public API surface is re-exported below.
 """
 
 from repro.engines import (

@@ -1,0 +1,46 @@
+"""``reprolint``: AST-based static analysis for the repo's invariants.
+
+The wco guarantees reproduced from Arroyuelo et al. (SIGMOD 2024)
+survive in this codebase as *coding conventions*: hot-path modules must
+call the unchecked ``_*_u`` succinct kernels, logical op counters must
+be bumped before memo lookups so traced op counts stay deterministic,
+observability must be zero-overhead when disabled, the traced pass must
+be bit-for-bit reproducible, and every engine must honour the relation
+and result contracts. ``repro.analysis`` turns those conventions into
+machine-checked rules (RPL001-RPL006) run as ``repro lint`` and as a CI
+gate — see ``docs/static-analysis.md`` for the rule catalogue and the
+invariant each protects.
+
+Public API::
+
+    from repro.analysis import Project, lint, ALL_RULES
+
+    project = Project.from_paths(["src/repro"])
+    result = lint(project)
+    for finding in result.findings:
+        print(finding.format())
+"""
+
+from repro.analysis.core import (
+    Finding,
+    LintResult,
+    ModuleInfo,
+    Project,
+    format_findings,
+    format_json,
+    lint,
+)
+from repro.analysis.rules import ALL_RULES, get_rules, rule_catalog
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Project",
+    "lint",
+    "format_findings",
+    "format_json",
+    "ALL_RULES",
+    "get_rules",
+    "rule_catalog",
+]

@@ -1,0 +1,138 @@
+"""Scope configuration of the reprolint rules.
+
+Each constant names the part of the tree a rule patrols. Scopes are
+dotted-module *prefixes*: ``"repro.ltj"`` covers ``repro.ltj`` and every
+``repro.ltj.*`` module. Keeping them here (rather than inside each
+rule) makes the protected surface reviewable in one place — widening a
+scope is a deliberate, diffable act.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# RPL001 — hot-path purity.
+#
+# Modules on the succinct hot path (every query bottoms out here) must
+# use the unchecked ``_*_u`` BitVector kernels: the public operations
+# re-validate arguments that are in-range by construction, which the
+# PR-3 kernel overhaul measured as a large constant-factor tax.
+# ----------------------------------------------------------------------
+HOT_PATH_PREFIXES: tuple[str, ...] = (
+    "repro.ltj",
+    "repro.ring",
+    "repro.knn.succinct",
+    "repro.knn.distance_index",
+    "repro.succinct.wavelet_tree",
+)
+
+#: The validated public BitVector operations (each has a ``_*_u``
+#: unchecked twin). ``access`` is deliberately absent: the name is
+#: shared with :meth:`WaveletTree.access`, which *is* the counted
+#: logical operation hot paths are expected to call.
+VALIDATED_BITVECTOR_OPS: frozenset[str] = frozenset(
+    {"rank1", "rank0", "select1", "select0", "next_one", "rank1_range"}
+)
+
+# ----------------------------------------------------------------------
+# RPL002 — counter-before-memo.
+#
+# Modules holding memoized succinct wrappers: the logical op counter
+# must be incremented before any memo lookup, so traced op counts are
+# identical with and without memoization (the golden Figure-2 fixture
+# depends on this).
+# ----------------------------------------------------------------------
+MEMOIZED_PREFIXES: tuple[str, ...] = ("repro.succinct.wavelet_tree",)
+
+#: Attribute prefix marking a per-query memo container.
+MEMO_ATTR_PREFIX = "_memo_"
+
+#: Memo attributes that are bookkeeping, not caches (reading them is
+#: not a lookup).
+MEMO_BOOKKEEPING_ATTRS: frozenset[str] = frozenset({"_memo_users"})
+
+# ----------------------------------------------------------------------
+# RPL003 — obs guards.
+#
+# Engine and index code may only touch a trace/counter object behind an
+# ``is not None`` guard (the zero-overhead-when-disabled pattern).
+# ``repro.obs`` itself is exempt — it *is* the recorder.
+# ----------------------------------------------------------------------
+OBS_GUARD_PREFIXES: tuple[str, ...] = (
+    "repro.engines",
+    "repro.ltj",
+    "repro.ring",
+    "repro.knn",
+    "repro.succinct",
+    "repro.graph",
+)
+
+OBS_EXEMPT_PREFIXES: tuple[str, ...] = ("repro.obs",)
+
+#: A dotted expression whose final segment is one of these names is
+#: treated as a trace/counter reference (``self.obs``, ``obs``,
+#: ``self._state.obs``, ``trace``, ``self._trace``, ``vc`` — the
+#: engine's per-variable counter alias).
+OBS_SEGMENTS: frozenset[str] = frozenset(
+    {"obs", "ops", "trace", "_trace", "tracer", "vc"}
+)
+
+# ----------------------------------------------------------------------
+# RPL004 — determinism of the traced op-count pass.
+#
+# The bench harness re-runs every query under a trace and diffs the op
+# counts *exactly* across machines, so code reachable from the traced
+# pass must not consult wall-clock time or unseeded randomness, and
+# must not let set iteration order leak into results.
+# ----------------------------------------------------------------------
+DETERMINISM_ROOTS: tuple[str, ...] = (
+    "repro.bench.harness",
+    "repro.engines",
+)
+
+#: Wall-clock reads banned in reachable code (``time.perf_counter`` is
+#: allowed: it only ever feeds wall-time fields, never op counts, and
+#: the bench diff normalizes wall times instead of comparing exactly).
+WALL_CLOCK_CALLS: frozenset[str] = frozenset(
+    {"time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+     "datetime.datetime.now", "datetime.datetime.utcnow"}
+)
+
+#: Legacy seedless numpy RNG entry points (the seeded
+#: ``default_rng(seed)`` generator API is the only sanctioned one).
+NUMPY_GLOBAL_RNG_FNS: frozenset[str] = frozenset(
+    {"rand", "randn", "randint", "random", "choice", "shuffle",
+     "permutation", "seed", "random_sample"}
+)
+
+# ----------------------------------------------------------------------
+# RPL005 — engine/relation contract.
+# ----------------------------------------------------------------------
+RELATION_MODULE_PREFIXES: tuple[str, ...] = ("repro.ltj",)
+
+#: Modules inside the relation scope that define the interface itself
+#: (not adapters).
+RELATION_EXEMPT_MODULES: frozenset[str] = frozenset(
+    {"repro.ltj.relation", "repro.ltj.engine", "repro.ltj.ordering",
+     "repro.ltj.stats"}
+)
+
+ENGINE_MODULE_PREFIXES: tuple[str, ...] = ("repro.engines",)
+
+# ----------------------------------------------------------------------
+# RPL006 — strict-typing gate (in-repo approximation of the CI
+# ``mypy --strict`` job: every def fully annotated).
+# ----------------------------------------------------------------------
+TYPED_PREFIXES: tuple[str, ...] = (
+    "repro.succinct",
+    "repro.ltj",
+    "repro.ring",
+    "repro.bounds",
+)
+
+
+def in_scope(module_name: str, prefixes: tuple[str, ...]) -> bool:
+    """Whether ``module_name`` falls under one of the dotted prefixes."""
+    for prefix in prefixes:
+        if module_name == prefix or module_name.startswith(prefix + "."):
+            return True
+    return False

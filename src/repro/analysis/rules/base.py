@@ -1,0 +1,29 @@
+"""Rule interface for reprolint."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.core import Finding, ModuleInfo, Project
+
+
+class Rule:
+    """One invariant check.
+
+    Subclasses set ``code`` (``"RPLxxx"``), ``name`` (short slug) and
+    ``summary`` (one line, shown by ``repro lint --list-rules``), and
+    implement :meth:`check` yielding findings for one module. The full
+    rationale lives in the class docstring and ``docs/static-analysis.md``.
+    """
+
+    code: str = "RPL999"
+    name: str = "unnamed"
+    summary: str = ""
+
+    def check(self, module: "ModuleInfo", project: "Project") -> Iterator["Finding"]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Rule {self.code} {self.name}>"

@@ -1,0 +1,74 @@
+"""RPL001 — hot-path purity.
+
+The PR-3 kernel overhaul split every ``BitVector`` operation into a
+validated public entry point (``rank1``/``select1``/...) and an
+unchecked ``_*_u`` twin. Hot-path modules — the LTJ engine, the Ring,
+the succinct K-NN structure and the wavelet tree itself — sit inside
+per-result loops where the public ops' argument re-validation measured
+as a multiple-x constant-factor tax, so they must call the ``_*_u``
+kernels. The same modules must not fall back to ``np.searchsorted``
+inside a loop: the plain-int ``bisect`` caches added in PR-3 exist
+precisely because per-call numpy dispatch dominated the profile.
+
+Note the banned set is the *BitVector* surface only.
+``WaveletTree.rank/select/access`` are the paper's counted logical
+operations — hot paths are *supposed* to call those (the golden
+Figure-2 fixture counts them); their internals then bottom out in
+``_*_u`` kernels, which is what this rule verifies.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis import astutil
+from repro.analysis.config import (
+    HOT_PATH_PREFIXES,
+    VALIDATED_BITVECTOR_OPS,
+    in_scope,
+)
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.core import Finding, ModuleInfo, Project
+
+
+class HotPathPurity(Rule):
+    code = "RPL001"
+    name = "hot-path-purity"
+    summary = (
+        "hot-path modules must use unchecked _*_u BitVector kernels and "
+        "bisect instead of np.searchsorted in loops"
+    )
+
+    def check(self, module: "ModuleInfo", project: "Project") -> Iterator["Finding"]:
+        if not in_scope(module.name, HOT_PATH_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = astutil.call_name(node)
+            if chain is None:
+                continue
+            segments = chain.split(".")
+            op = segments[-1]
+            if op in VALIDATED_BITVECTOR_OPS and len(segments) > 1:
+                yield module.finding(
+                    self.code,
+                    f"validated BitVector op '.{op}()' on the hot path; "
+                    f"call the unchecked '._{op}_u()' kernel (arguments "
+                    "here are in-range by construction)",
+                    node,
+                )
+            elif op == "searchsorted":
+                func = astutil.enclosing_function(node)
+                if astutil.enclosing_loop(node, stop=func) is not None:
+                    yield module.finding(
+                        self.code,
+                        "np.searchsorted inside a loop on the hot path; "
+                        "use bisect over a plain-int cache (per-call "
+                        "numpy dispatch dominates the profile here)",
+                        node,
+                    )

@@ -1,0 +1,125 @@
+"""RPL005 — engine/relation contract.
+
+Two halves, both protecting the seams the observability layer and the
+memoization lifecycle hang off:
+
+* every relation adapter in ``repro.ltj`` (a class implementing the
+  ``leap`` protocol) must expose the ``wavelet_trees()`` hook — the
+  engine uses it to attach per-query memo tables and the tracer uses it
+  to find counter targets; a relation without it silently opts out of
+  both, skewing traced op counts;
+* every engine in ``repro.engines`` (a class implementing ``evaluate``)
+  must route its solutions through ``repro.engines.result`` — each
+  ``return`` in ``evaluate`` is a ``QueryResult(...)`` construction, a
+  delegation to another engine's ``.evaluate(...)``, or a local name
+  bound to one of those. Ad-hoc return shapes break the differential
+  harness, which compares engines field by field.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis import astutil
+from repro.analysis.config import (
+    ENGINE_MODULE_PREFIXES,
+    RELATION_EXEMPT_MODULES,
+    RELATION_MODULE_PREFIXES,
+    in_scope,
+)
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.core import Finding, ModuleInfo, Project
+
+
+def _methods(klass: ast.ClassDef) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in klass.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _is_result_expr(expr: ast.expr, result_names: set[str]) -> bool:
+    """``QueryResult(...)`` / ``<x>.evaluate(...)`` / blessed name."""
+    if isinstance(expr, ast.Call):
+        chain = astutil.call_name(expr)
+        if chain is None:
+            return False
+        last = chain.split(".")[-1]
+        return last in {"QueryResult", "evaluate"}
+    if isinstance(expr, ast.Name):
+        return expr.id in result_names
+    return False
+
+
+class EngineContract(Rule):
+    code = "RPL005"
+    name = "engine-contract"
+    summary = (
+        "relations expose wavelet_trees(); engines return solutions "
+        "through result.QueryResult"
+    )
+
+    def check(self, module: "ModuleInfo", project: "Project") -> Iterator["Finding"]:
+        if (
+            in_scope(module.name, RELATION_MODULE_PREFIXES)
+            and module.name not in RELATION_EXEMPT_MODULES
+        ):
+            yield from self._check_relations(module)
+        if in_scope(module.name, ENGINE_MODULE_PREFIXES):
+            yield from self._check_engines(module)
+
+    # ------------------------------------------------------------------
+    def _check_relations(self, module: "ModuleInfo") -> Iterator["Finding"]:
+        for klass in ast.walk(module.tree):
+            if not isinstance(klass, ast.ClassDef):
+                continue
+            methods = _methods(klass)
+            if "leap" not in methods:
+                continue  # not a relation adapter
+            if "wavelet_trees" not in methods:
+                yield module.finding(
+                    self.code,
+                    f"relation '{klass.name}' implements leap() but not "
+                    "wavelet_trees(); memo attachment and trace counter "
+                    "discovery silently skip it (return () if it holds "
+                    "no wavelet trees)",
+                    klass,
+                )
+
+    def _check_engines(self, module: "ModuleInfo") -> Iterator["Finding"]:
+        for klass in ast.walk(module.tree):
+            if not isinstance(klass, ast.ClassDef):
+                continue
+            methods = _methods(klass)
+            evaluate = methods.get("evaluate")
+            if evaluate is None:
+                continue
+            # Names bound to QueryResult(...)/delegated evaluate calls
+            # inside evaluate() are blessed return values.
+            result_names: set[str] = set()
+            for node in ast.walk(evaluate):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name) and _is_result_expr(
+                        node.value, result_names
+                    ):
+                        result_names.add(target.id)
+            for node in ast.walk(evaluate):
+                if not isinstance(node, ast.Return) or node.value is None:
+                    continue
+                if astutil.enclosing_function(node) is not evaluate:
+                    continue  # return inside a nested helper
+                if not _is_result_expr(node.value, result_names):
+                    yield module.finding(
+                        self.code,
+                        f"'{klass.name}.evaluate' returns something other "
+                        "than a repro.engines.result.QueryResult (or a "
+                        "delegated .evaluate(...) call); the differential "
+                        "harness compares engines through that one type",
+                        node,
+                    )

@@ -1,0 +1,70 @@
+"""RPL006 — annotation completeness on the strict-typed packages.
+
+``repro.succinct``, ``repro.ltj``, ``repro.ring`` and ``repro.bounds``
+are gated by ``mypy --strict`` in CI (see ``[tool.mypy]`` in
+pyproject.toml). mypy itself is not a runtime dependency, so this rule
+is the in-container approximation that keeps the gate honest between CI
+runs: every function in a gated package must annotate every parameter
+(``self``/``cls`` excepted) and its return type. It will not catch
+type *errors* — only CI's real mypy run does — but it catches the
+failure mode that actually erodes strict gates: unannotated defs, which
+``--strict`` rejects wholesale.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis import astutil
+from repro.analysis.config import TYPED_PREFIXES, in_scope
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.core import Finding, ModuleInfo, Project
+
+
+class StrictTyping(Rule):
+    code = "RPL006"
+    name = "strict-typing"
+    summary = (
+        "functions in mypy-strict-gated packages must annotate all "
+        "parameters and the return type"
+    )
+
+    def check(self, module: "ModuleInfo", project: "Project") -> Iterator["Finding"]:
+        if not in_scope(module.name, TYPED_PREFIXES):
+            return
+        for func in astutil.walk_functions(module.tree):
+            missing: list[str] = []
+            args = func.args
+            positional = list(args.posonlyargs) + list(args.args)
+            in_class = astutil.class_of(func) is not None
+            is_static = any(
+                isinstance(dec, ast.Name) and dec.id == "staticmethod"
+                for dec in func.decorator_list
+            )
+            skip_first = in_class and not is_static
+            for i, arg in enumerate(positional):
+                if skip_first and i == 0:
+                    continue  # self / cls
+                if arg.annotation is None:
+                    missing.append(arg.arg)
+            for arg in args.kwonlyargs:
+                if arg.annotation is None:
+                    missing.append(arg.arg)
+            if args.vararg is not None and args.vararg.annotation is None:
+                missing.append("*" + args.vararg.arg)
+            if args.kwarg is not None and args.kwarg.annotation is None:
+                missing.append("**" + args.kwarg.arg)
+            if func.returns is None:
+                missing.append("return")
+            if missing:
+                yield module.finding(
+                    self.code,
+                    f"'{func.name}' is missing annotations "
+                    f"({', '.join(missing)}); this package is gated by "
+                    "mypy --strict in CI",
+                    func,
+                )

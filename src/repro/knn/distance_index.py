@@ -13,6 +13,7 @@ directions of a clause.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Callable
 
 import numpy as np
@@ -61,6 +62,10 @@ class DistanceRangeIndex:
             raise ValidationError("d_max must be positive")
         self._members = mem
         self._members.setflags(write=False)
+        # Plain-int mirror for the per-leap bisect lookups: indexing a
+        # numpy array in the LTJ inner loop boxes a fresh scalar per
+        # probe (see KnnRing, which keeps the same mirror).
+        self._members_i: list[int] = [int(m) for m in mem]
         self._d_max = float(d_max)
 
         if metric is None:
@@ -126,17 +131,20 @@ class DistanceRangeIndex:
         )
 
     def _index_of(self, node: int) -> int | None:
-        idx = int(np.searchsorted(self._members, node))
-        if idx < self._members.size and self._members[idx] == node:
+        members = self._members_i
+        idx = bisect_left(members, node)
+        if idx < len(members) and members[idx] == node:
             return idx
         return None
 
     def _region_of(self, ui: int) -> tuple[int, int]:
         """Closed 0-based range of member index ``ui``'s region in ``D``."""
-        pos = self._B.select1(ui + 1)
+        # ``ui`` comes from _index_of, so the select arguments are
+        # in-range by construction and the unchecked kernels apply.
+        pos = self._B._select1_u(ui + 1)
         lo = pos - ui  # zeros before the (ui+1)-th one
         if ui + 2 <= self._B.n_ones:
-            hi = self._B.select1(ui + 2) - (ui + 1) - 1
+            hi = self._B._select1_u(ui + 2) - (ui + 1) - 1
         else:
             hi = len(self._D) - 1
         return lo, hi
@@ -193,7 +201,8 @@ class DistanceRangeIndex:
 
     def next_member(self, lower: int) -> int | None:
         """Smallest member id ``>= lower``."""
-        idx = int(np.searchsorted(self._members, lower))
-        if idx >= self._members.size:
+        members = self._members_i
+        idx = bisect_left(members, lower)
+        if idx >= len(members):
             return None
-        return int(self._members[idx])
+        return members[idx]

@@ -10,9 +10,15 @@ index.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.knn.distance_index import DistanceRangeIndex
 from repro.query.model import DistClause, Var, is_var
 from repro.utils.errors import StructureError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import RelationCounters
+    from repro.succinct.wavelet_tree import WaveletTree
 
 
 class DistanceClauseRelation:
@@ -22,7 +28,7 @@ class DistanceClauseRelation:
         self._index = index
         self._clause = clause
         self._d = float(clause.d)
-        self.obs = None
+        self.obs: RelationCounters | None = None
         """Optional :class:`repro.obs.trace.RelationCounters`; detail
         keys name the distance-index primitive used per call."""
         self._values: dict[str, int | None] = {"x": None, "y": None}
@@ -40,7 +46,7 @@ class DistanceClauseRelation:
     def clause(self) -> DistClause:
         return self._clause
 
-    def wavelet_trees(self):
+    def wavelet_trees(self) -> tuple[WaveletTree, ...]:
         """Trees touched by this relation (engine memo hook)."""
         return (self._index.D,)
 
@@ -53,7 +59,7 @@ class DistanceClauseRelation:
         bound = {self._term(side) for side in self._undo}
         return frozenset(v for v in self._clause.variables if v not in bound)
 
-    def _term(self, side: str):
+    def _term(self, side: str) -> Var | int:
         return self._clause.x if side == "x" else self._clause.y
 
     def is_empty(self) -> bool:

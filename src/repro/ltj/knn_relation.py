@@ -10,9 +10,15 @@ those ranges, never materializing anything.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.knn.succinct import KnnRing
 from repro.query.model import SimClause, Var, is_var
 from repro.utils.errors import StructureError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import RelationCounters
+    from repro.succinct.wavelet_tree import WaveletTree
 
 
 class KnnClauseRelation:
@@ -22,7 +28,7 @@ class KnnClauseRelation:
         self._knn = knn
         self._clause = clause
         self._k = clause.k
-        self.obs = None
+        self.obs: RelationCounters | None = None
         """Optional :class:`repro.obs.trace.RelationCounters`; detail
         keys name the kNN-ring primitive used per call (e.g.
         ``leap_forward_S`` for a descent of the simulated trie T_xy)."""
@@ -46,7 +52,7 @@ class KnnClauseRelation:
     def clause(self) -> SimClause:
         return self._clause
 
-    def wavelet_trees(self):
+    def wavelet_trees(self) -> tuple[WaveletTree, WaveletTree]:
         """Trees touched by this relation (engine memo hook)."""
         return self._knn.wavelet_trees()
 

@@ -132,7 +132,7 @@ class TopologicalOrdering(OrderingStrategy):
         self._edges = tuple(edges)
         # Kahn's algorithm to verify acyclicity once.
         nodes = {v for edge in edges for v in edge}
-        indeg = {v: 0 for v in nodes}
+        indeg = {v: 0 for v in sorted(nodes, key=lambda u: u.name)}
         for _x, y in edges:
             indeg[y] += 1
         frontier = [v for v, d in indeg.items() if d == 0]

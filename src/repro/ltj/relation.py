@@ -9,8 +9,12 @@ engine only ever calls the five methods below, so adding new atom kinds
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING
 
 from repro.query.model import Var
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.succinct.wavelet_tree import WaveletTree
 
 
 class LeapRelation(abc.ABC):
@@ -56,3 +60,14 @@ class LeapRelation(abc.ABC):
     def is_empty(self) -> bool:
         """Whether the atom admits no completion (default: never)."""
         return False
+
+    def wavelet_trees(self) -> tuple[WaveletTree, ...]:
+        """Wavelet trees this atom's leaps traverse (default: none).
+
+        The engine scopes per-query memo tables to these trees and the
+        tracer attaches op counters to them, so adapters backed by
+        succinct structures must override this (RPL005 enforces it);
+        returning ``()`` opts out of both, which is correct only when
+        the atom really owns no trees (e.g. the six-permutation
+        backend)."""
+        return ()

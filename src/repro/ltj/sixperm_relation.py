@@ -11,9 +11,15 @@ one (see ``tests/test_sixperm.py``).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.graph.sixperm import SixPermIndex
 from repro.query.model import TriplePattern, Var, is_var
 from repro.utils.errors import StructureError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import RelationCounters
+    from repro.succinct.wavelet_tree import WaveletTree
 
 
 class SixPermTripleRelation:
@@ -22,7 +28,7 @@ class SixPermTripleRelation:
     def __init__(self, index: SixPermIndex, pattern: TriplePattern) -> None:
         self._index = index
         self._pattern = pattern
-        self.obs = None
+        self.obs: RelationCounters | None = None
         """Optional :class:`repro.obs.trace.RelationCounters` (None when
         tracing is off)."""
         self._coords_of: dict[Var, tuple[str, ...]] = {}
@@ -39,6 +45,10 @@ class SixPermTripleRelation:
     @property
     def pattern(self) -> TriplePattern:
         return self._pattern
+
+    def wavelet_trees(self) -> tuple[WaveletTree, ...]:
+        """Engine memo hook: the six tries hold no wavelet trees."""
+        return ()
 
     @property
     def variables(self) -> frozenset[Var]:

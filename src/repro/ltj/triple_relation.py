@@ -9,10 +9,16 @@ candidates from one coordinate while probing the others.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.query.model import TriplePattern, Var, is_var
 from repro.ring.index import PREV_COORD, RingIndex
 from repro.ring.pattern import RingPatternState
 from repro.utils.errors import StructureError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import RelationCounters
+    from repro.succinct.wavelet_tree import WaveletTree
 
 
 class RingTripleRelation:
@@ -47,7 +53,7 @@ class RingTripleRelation:
 
     # ------------------------------------------------------------------
     @property
-    def obs(self):
+    def obs(self) -> RelationCounters | None:
         """Optional :class:`repro.obs.trace.RelationCounters` (None when
         tracing is off). Setting it also instruments the underlying
         :class:`RingPatternState`, whose detail counters record which
@@ -55,14 +61,14 @@ class RingTripleRelation:
         return self._state.obs
 
     @obs.setter
-    def obs(self, counters) -> None:
+    def obs(self, counters: RelationCounters | None) -> None:
         self._state.obs = counters
 
     @property
     def pattern(self) -> TriplePattern:
         return self._pattern
 
-    def wavelet_trees(self):
+    def wavelet_trees(self) -> tuple[WaveletTree, ...]:
         """Trees touched by this relation (engine memo hook)."""
         return self._ring.wavelet_trees()
 

@@ -137,7 +137,7 @@ class RingIndex:
         if len(coords) == 1:
             return next(iter(coords))
         if len(coords) == 2:
-            for f in coords:
+            for f in sorted(coords):
                 if NEXT_COORD[f] in coords:
                     return f
         raise StructureError(f"no arc for bound set {sorted(coords)}")

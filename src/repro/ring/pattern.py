@@ -18,9 +18,13 @@ answers:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.ring.index import NEXT_COORD, PREV_COORD, RingIndex
 from repro.utils.errors import StructureError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import RelationCounters
 
 
 @dataclass(frozen=True)
@@ -52,7 +56,7 @@ class RingPatternState:
                 positions (e.g. ``{"p": 5}`` for ``(?x, 5, ?y)``).
         """
         self._ring = ring
-        self.obs = None
+        self.obs: RelationCounters | None = None
         """Optional :class:`repro.obs.trace.RelationCounters`; when set,
         each navigation primitive bumps a ``detail`` counter recording
         which Ring operation answered it (ranges opened per arc kind,

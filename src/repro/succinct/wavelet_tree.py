@@ -32,11 +32,15 @@ operation counts are identical with and without memoization.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.succinct.bitvector import BitVector
 from repro.utils.errors import StructureError, ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import OpCounters
 
 # Per-memo entry cap: a query that somehow accumulates more distinct
 # (rank / range_next_value) argument tuples than this simply restarts
@@ -83,14 +87,14 @@ class WaveletTree:
         )
         self._counts = counts.astype(np.int64)
         self._counts_i: list[int] = self._counts.tolist()
-        self.ops = None
+        self.ops: OpCounters | None = None
         """Optional :class:`repro.obs.trace.OpCounters`. ``None`` (the
         default) disables op counting entirely; a traced evaluation
         attaches counters for its duration (see
         :func:`repro.obs.trace.attach_wavelets`)."""
         self._memo_users = 0
-        self._memo_rank: dict | None = None
-        self._memo_next: dict | None = None
+        self._memo_rank: dict[tuple[int, int], int] | None = None
+        self._memo_next: dict[tuple[int, int, int], int | None] | None = None
 
     # ------------------------------------------------------------------
     # introspection

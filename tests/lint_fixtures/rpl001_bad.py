@@ -1,0 +1,22 @@
+# reprolint-module: repro.ltj.fixture_hot
+"""RPL001 fixture: validated BitVector ops + searchsorted in a loop."""
+
+import numpy as np
+
+
+def count_ones(bv, positions):
+    total = 0
+    for i in positions:
+        total += bv.rank1(i)  # validated op on the hot path
+    return total
+
+
+def locate(members, probes):
+    out = []
+    for p in probes:
+        out.append(int(np.searchsorted(members, p)))  # numpy in a loop
+    return out
+
+
+def first_one(bv):
+    return bv.select1(1)  # validated op outside a loop still counts

@@ -1,0 +1,41 @@
+# reprolint-module: repro.succinct.wavelet_tree.fixture
+"""RPL002 fixture: memo lookup before the op-counter increment."""
+
+_MISS = object()
+
+
+class BadMemoTree:
+    def __init__(self):
+        self.ops = None
+        self._memo_rank = None
+        self._memo_users = 0
+
+    def rank(self, c, i):
+        memo = self._memo_rank  # looked up BEFORE the counter bump
+        if memo is not None:
+            hit = memo.get((c, i), _MISS)
+            if hit is not _MISS:
+                return hit
+        if self.ops is not None:
+            self.ops.rank += 1
+        return 0
+
+    def helper_entry(self, c, i):
+        # Calls a memo-reading private helper without bumping first.
+        return self._cached(c, i)
+
+    def _cached(self, c, i):
+        memo = self._memo_rank
+        if memo is None:
+            return 0
+        return memo.get((c, i), 0)
+
+    def good_rank(self, c, i):
+        if self.ops is not None:
+            self.ops.rank += 1
+        memo = self._memo_rank
+        if memo is not None:
+            hit = memo.get((c, i), _MISS)
+            if hit is not _MISS:
+                return hit
+        return 0

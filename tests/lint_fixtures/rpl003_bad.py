@@ -1,0 +1,24 @@
+# reprolint-module: repro.engines.fixture_obs
+"""RPL003 fixture: unguarded observability touches."""
+
+
+class LeakyEngine:
+    def __init__(self, db, trace=None):
+        self._db = db
+        self._trace = trace
+
+    def evaluate(self, query):
+        self._trace.record("start")  # unguarded: crashes when disabled
+        solutions = self._db.run(query)
+        vc = self._trace.var("x")
+        vc.leap += 1  # unguarded counter bump
+        return solutions
+
+    def guarded_ok(self, query):
+        if self._trace is not None:
+            self._trace.record("start")
+        obs = self._trace
+        if obs is None:
+            return self._db.run(query)
+        obs.record("traced run")
+        return self._db.run(query)

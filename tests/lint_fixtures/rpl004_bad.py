@@ -1,0 +1,34 @@
+# reprolint-module: repro.engines.fixture_det
+"""RPL004 fixture: wall clock, unseeded RNG, set-order leaks."""
+
+import random
+import time
+
+import numpy as np
+
+
+def unseeded_rng():
+    return np.random.default_rng()  # no seed
+
+
+def legacy_rng(n):
+    return np.random.randint(0, 10, size=n)
+
+
+def stateful_random():
+    return random.random()
+
+
+def wall_clock_tag(results):
+    return {"at": time.time(), "results": results}
+
+
+def leaky_order(values):
+    out = []
+    for v in set(values):  # hash order leaks into out
+        out.append(v)
+    return out
+
+
+def safe_order(values):
+    return sorted(set(values))  # order-insensitive consumer: fine

@@ -1,0 +1,19 @@
+# reprolint-module: repro.engines.fixture_eng
+"""RPL005 fixture: an engine returning an ad-hoc result shape."""
+
+
+class RogueEngine:
+    def __init__(self, db):
+        self._db = db
+
+    def evaluate(self, query):
+        solutions = self._db.run(query)
+        return {"solutions": solutions}  # not a QueryResult
+
+
+class DelegatingEngine:
+    def __init__(self, inner):
+        self._inner = inner
+
+    def evaluate(self, query):
+        return self._inner.evaluate(query)  # delegation is fine

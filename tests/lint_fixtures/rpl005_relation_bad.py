@@ -1,0 +1,16 @@
+# reprolint-module: repro.ltj.fixture_rel
+"""RPL005 fixture: a relation adapter without the wavelet_trees hook."""
+
+
+class HookFreeRelation:
+    def __init__(self, index):
+        self._index = index
+
+    def leap(self, var, lower):
+        return self._index.leap(lower)
+
+    def bind(self, var, value):
+        self._index.bind(value)
+
+    def unbind(self):
+        self._index.unbind()

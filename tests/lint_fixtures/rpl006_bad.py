@@ -1,0 +1,22 @@
+# reprolint-module: repro.ring.fixture_typed
+"""RPL006 fixture: unannotated defs in a strict-typed package."""
+
+
+def no_annotations(a, b):
+    return a + b
+
+
+def half_annotated(a: int, b) -> int:
+    return a + b
+
+
+def fully_annotated(a: int, b: int) -> int:
+    return a + b
+
+
+class Carrier:
+    def method(self, x):
+        return x
+
+    def typed_method(self, x: int) -> int:
+        return x

@@ -1,0 +1,6 @@
+# reprolint-module: repro.ltj.fixture_nojust
+"""Suppression fixture: a disable without justification is RPL000."""
+
+
+def first_one(bv):
+    return bv.select1(1)  # reprolint: disable=RPL001

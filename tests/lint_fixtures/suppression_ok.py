@@ -1,0 +1,15 @@
+# reprolint-module: repro.ltj.fixture_sup
+"""Suppression fixture: justified disables silence findings."""
+
+
+def build_rank_table(bv, n):
+    # Construction-time loop; validation cost is amortized once.
+    table = []
+    for i in range(n):
+        table.append(bv.rank1(i))  # reprolint: disable=RPL001 -- construction-time, validation amortized
+    return table
+
+
+def first_one(bv):
+    # reprolint: disable=RPL001 -- comment-line form covers the next line
+    return bv.select1(1)

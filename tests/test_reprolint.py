@@ -1,0 +1,233 @@
+"""Tests for the reprolint static-analysis suite (RPL001-RPL006).
+
+Each rule is exercised against a fixture file in ``tests/lint_fixtures/``
+carrying known violations; fixtures impersonate in-scope modules via the
+``# reprolint-module:`` magic comment. The suite also asserts the
+shipped ``src/repro`` tree is lint-clean — the same gate CI runs — so a
+change that breaks an invariant fails here before it reaches CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (
+    Project,
+    format_findings,
+    format_json,
+    get_rules,
+    lint,
+    rule_catalog,
+)
+from repro.analysis.imports import build_import_graph, reachable
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+PACKAGE_DIR = Path(repro.__file__).parent
+
+
+def lint_fixture(name: str, rules: list[str] | None = None):
+    project = Project.from_paths([FIXTURES / name])
+    return lint(project, get_rules(rules) if rules else None)
+
+
+def codes_and_lines(result):
+    return [(f.code, f.line) for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# per-rule fixtures
+# ----------------------------------------------------------------------
+class TestRPL001HotPathPurity:
+    def test_flags_validated_ops_and_searchsorted_in_loop(self):
+        result = lint_fixture("rpl001_bad.py", ["RPL001"])
+        messages = [f.message for f in result.findings]
+        assert len(result.findings) == 3
+        assert any("rank1" in m for m in messages)
+        assert any("select1" in m for m in messages)
+        assert any("searchsorted" in m for m in messages)
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        source = FIXTURES / "rpl001_bad.py"
+        body = source.read_text().replace(
+            "# reprolint-module: repro.ltj.fixture_hot",
+            "# reprolint-module: repro.experiments.fixture_hot",
+        )
+        moved = tmp_path / "elsewhere.py"
+        moved.write_text(body)
+        result = lint(Project.from_paths([moved]), get_rules(["RPL001"]))
+        assert result.ok
+
+
+class TestRPL002CounterBeforeMemo:
+    def test_flags_lookup_before_increment(self):
+        result = lint_fixture("rpl002_bad.py", ["RPL002"])
+        flagged = {f.message.split("'")[1] for f in result.findings}
+        assert flagged == {"BadMemoTree.rank", "BadMemoTree.helper_entry"}
+
+    def test_good_method_not_flagged(self):
+        result = lint_fixture("rpl002_bad.py", ["RPL002"])
+        assert not any("good_rank" in f.message for f in result.findings)
+
+
+class TestRPL003ObsGuard:
+    def test_flags_unguarded_touches_only(self):
+        result = lint_fixture("rpl003_bad.py", ["RPL003"])
+        touched = [f.message for f in result.findings]
+        assert len(result.findings) == 3
+        assert any("self._trace.record" in m for m in touched)
+        assert any("self._trace.var" in m for m in touched)
+        assert any("vc.leap" in m for m in touched)
+        # All findings sit inside evaluate(); the guarded method is clean.
+        assert all(11 <= f.line <= 15 for f in result.findings)
+
+
+class TestRPL004Determinism:
+    def test_flags_each_nondeterminism_kind(self):
+        result = lint_fixture("rpl004_bad.py", ["RPL004"])
+        messages = [f.message for f in result.findings]
+        assert len(result.findings) == 5
+        assert any("without a seed" in m for m in messages)
+        assert any("np.random.randint" in m for m in messages)
+        assert any("random.random" in m for m in messages)
+        assert any("wall-clock" in m for m in messages)
+        assert any("iteration over a set" in m for m in messages)
+
+    def test_sorted_set_is_not_flagged(self):
+        result = lint_fixture("rpl004_bad.py", ["RPL004"])
+        safe_line = next(
+            i
+            for i, text in enumerate(
+                (FIXTURES / "rpl004_bad.py").read_text().splitlines(), 1
+            )
+            if "safe_order" in text
+        )
+        assert all(f.line <= safe_line for f in result.findings)
+
+
+class TestRPL005EngineContract:
+    def test_relation_without_hook_flagged(self):
+        result = lint_fixture("rpl005_relation_bad.py", ["RPL005"])
+        assert len(result.findings) == 1
+        assert "HookFreeRelation" in result.findings[0].message
+        assert "wavelet_trees" in result.findings[0].message
+
+    def test_adhoc_engine_return_flagged_delegation_allowed(self):
+        result = lint_fixture("rpl005_engine_bad.py", ["RPL005"])
+        assert len(result.findings) == 1
+        assert "RogueEngine" in result.findings[0].message
+
+
+class TestRPL006StrictTyping:
+    def test_flags_unannotated_defs(self):
+        result = lint_fixture("rpl006_bad.py", ["RPL006"])
+        flagged = {f.message.split("'")[1] for f in result.findings}
+        assert flagged == {"no_annotations", "half_annotated", "method"}
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_justified_suppressions_silence_findings(self):
+        result = lint_fixture("suppression_ok.py", ["RPL001"])
+        assert result.ok
+        assert len(result.suppressed) == 2
+        assert all(f.justification for f in result.suppressed)
+
+    def test_suppression_without_justification_is_rpl000(self):
+        result = lint_fixture("suppression_nojust.py", ["RPL001"])
+        codes = [f.code for f in result.findings]
+        assert "RPL000" in codes
+        assert "RPL001" not in codes  # the disable still applies
+
+
+# ----------------------------------------------------------------------
+# framework pieces
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_rule_catalog_is_complete(self):
+        codes = [code for code, _name, _summary in rule_catalog()]
+        assert codes == [
+            "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+        ]
+
+    def test_get_rules_rejects_unknown_codes(self):
+        with pytest.raises(KeyError):
+            get_rules(["RPL001", "RPL999"])
+
+    def test_json_output_shape(self):
+        result = lint_fixture("rpl001_bad.py", ["RPL001"])
+        doc = json.loads(format_json(result))
+        assert doc["ok"] is False
+        assert doc["rules"] == ["RPL001"]
+        assert all(
+            {"code", "message", "path", "line"} <= set(f)
+            for f in doc["findings"]
+        )
+
+    def test_human_output_has_summary_line(self):
+        result = lint_fixture("rpl001_bad.py", ["RPL001"])
+        text = format_findings(result)
+        assert "RPL001: 3" in text.splitlines()[-1]
+
+    def test_import_graph_and_reachability(self):
+        project = Project.from_paths([PACKAGE_DIR])
+        graph = build_import_graph(project)
+        # The engines import the LTJ engine, which imports the ring.
+        assert "repro.ltj.engine" in reachable(graph, ("repro.engines",))
+        assert "repro.ring.index" in reachable(graph, ("repro.engines",))
+        # The analysis package is NOT on the query path.
+        assert "repro.analysis.core" not in reachable(
+            graph, ("repro.engines",)
+        )
+
+
+# ----------------------------------------------------------------------
+# the real gates
+# ----------------------------------------------------------------------
+class TestShippedTree:
+    def test_shipped_tree_is_lint_clean(self):
+        result = lint(Project.from_paths([PACKAGE_DIR]))
+        assert result.ok, "\n" + format_findings(result)
+
+    def test_cli_exit_codes_and_json(self, capsys):
+        rc = cli_main(
+            ["lint", "--format=json", str(FIXTURES / "rpl001_bad.py"),
+             "--rules", "RPL001"]
+        )
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+
+        rc = cli_main(["lint", "--format=json", str(PACKAGE_DIR)])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+
+    def test_cli_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RPL001" in out and "RPL006" in out
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed (CI installs it for the strict gate)",
+)
+def test_mypy_strict_gate_runs():  # pragma: no cover - CI-only
+    import subprocess
+    import sys
+
+    repo_root = Path(__file__).parents[1]
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
