@@ -1,0 +1,105 @@
+"""Scaling benchmark of the domain-sharded parallel-knn engine.
+
+One pytest-benchmark entry per pool size (1, 2, 4) runs the full
+benchmark workload under :class:`ParallelRingKnnEngine`, plus a serial
+Ring-KNN reference entry. Each entry's ``extra_info`` records total
+time, solutions (asserted identical to serial — sharding must never
+change results) and the speedup over the serial reference, and the
+curve is written to ``benchmarks/results/parallel_scaling.txt``.
+
+Expected shape: pool size 1 (inline sharding) tracks serial closely —
+the shard machinery itself is cheap; real pools amortize their dispatch
+overhead only once per-shard work dominates, so at this laptop scale
+the multi-worker speedup is modest and the point of the curve is to
+catch *regressions* in sharding overhead, not to demonstrate big wins.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import QUERY_TIMEOUT, write_results
+from repro.engines.parallel_knn import ParallelRingKnnEngine
+from repro.engines.ring_knn import RingKnnEngine
+
+WORKER_COUNTS = (1, 2, 4)
+
+_collected: dict[str, dict] = {}
+
+
+def _flat_queries(workload):
+    return [
+        query
+        for _family, family_queries in sorted(workload.items())
+        for query in family_queries
+    ]
+
+
+def _run_workload(engine, queries):
+    total = 0.0
+    solutions = 0
+    timeouts = 0
+    for query in queries:
+        started = time.perf_counter()
+        result = engine.evaluate(query, timeout=QUERY_TIMEOUT)
+        total += time.perf_counter() - started
+        solutions += len(result.solutions)
+        timeouts += int(result.timed_out)
+    return {"total_s": total, "solutions": solutions, "timeouts": timeouts}
+
+
+def test_parallel_serial_reference(benchmark, database, workload):
+    queries = _flat_queries(workload)
+    engine = RingKnnEngine(database)
+    entry = benchmark.pedantic(
+        lambda: _run_workload(engine, queries), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(entry)
+    _collected["serial"] = entry
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_scaling(benchmark, database, workload, workers):
+    queries = _flat_queries(workload)
+    engine = ParallelRingKnnEngine(database, workers=workers)
+    entry = benchmark.pedantic(
+        lambda: _run_workload(engine, queries), rounds=1, iterations=1
+    )
+    serial = _collected.get("serial")
+    if serial is None:
+        serial = _run_workload(RingKnnEngine(database), queries)
+        _collected["serial"] = serial
+    if not entry["timeouts"] and not serial["timeouts"]:
+        assert entry["solutions"] == serial["solutions"], (
+            "sharded execution changed the solution count"
+        )
+    entry["speedup_vs_serial"] = (
+        serial["total_s"] / entry["total_s"] if entry["total_s"] > 0 else 0.0
+    )
+    benchmark.extra_info.update(entry)
+    _collected[f"workers={workers}"] = entry
+
+
+def test_parallel_scaling_report(database, workload):
+    lines = ["parallel-knn scaling over the benchmark workload"]
+    serial = _collected.get("serial")
+    if serial is None:
+        serial = _run_workload(RingKnnEngine(database), _flat_queries(workload))
+    lines.append(
+        f"  serial ring-knn: {serial['total_s']:.3f}s "
+        f"({serial['solutions']} solutions)"
+    )
+    for workers in WORKER_COUNTS:
+        entry = _collected.get(f"workers={workers}")
+        if entry is None:
+            continue
+        lines.append(
+            f"  workers={workers}: {entry['total_s']:.3f}s "
+            f"(speedup {entry['speedup_vs_serial']:.2f}x, "
+            f"{entry['solutions']} solutions)"
+        )
+    text = "\n".join(lines)
+    write_results("parallel_scaling", text)
+    print(text)

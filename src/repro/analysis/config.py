@@ -64,6 +64,7 @@ OBS_GUARD_PREFIXES: tuple[str, ...] = (
     "repro.knn",
     "repro.succinct",
     "repro.graph",
+    "repro.parallel",
 )
 
 OBS_EXEMPT_PREFIXES: tuple[str, ...] = ("repro.obs",)
@@ -116,7 +117,10 @@ RELATION_EXEMPT_MODULES: frozenset[str] = frozenset(
      "repro.ltj.stats"}
 )
 
-ENGINE_MODULE_PREFIXES: tuple[str, ...] = ("repro.engines",)
+ENGINE_MODULE_PREFIXES: tuple[str, ...] = (
+    "repro.engines",
+    "repro.parallel",
+)
 
 # ----------------------------------------------------------------------
 # RPL006 — strict-typing gate (in-repo approximation of the CI

@@ -12,7 +12,14 @@ three measurement groups:
   same counts on any machine — so the diff compares them *exactly*;
 * **micro** — fixed-iteration loops over the succinct primitives
   (bitvector rank/select, wavelet-tree rank/select/``range_next_value``
-  /``distinct_values``), the operations every query bottoms out in.
+  /``distinct_values``), the operations every query bottoms out in;
+* **parallel** — the Figure-2 workload under the domain-sharded
+  ``parallel-knn`` engine at each pool size in
+  ``BenchConfig.parallel_workers``, with speedups over the serial
+  Ring-KNN reference. A new measurement group: diffs against documents
+  that predate it simply skip it (wall diffs walk shared keys only),
+  and its solution counts are cross-checked against the serial pass at
+  record time.
 
 Wall-clock numbers are environment-sensitive, so every run also records
 a **calibration** time (a fixed pure-Python loop). When diffing two
@@ -47,6 +54,7 @@ from repro.datasets.wikimedia import WikimediaConfig, generate_benchmark
 from repro.datasets.workload import WorkloadConfig, generate_workload
 from repro.engines.baseline import BaselineEngine
 from repro.engines.database import GraphDatabase
+from repro.engines.parallel_knn import ParallelRingKnnEngine
 from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
 from repro.obs import QueryTrace
 from repro.succinct.bitvector import BitVector
@@ -80,6 +88,9 @@ class BenchConfig:
     timeout: float | None = 60.0
     engines: tuple[str, ...] = ("baseline", "ring-knn", "ring-knn-s")
     micro: bool = True
+    parallel_workers: tuple[int, ...] = (1, 2, 4)
+    """Pool sizes of the parallel scaling curve (empty tuple disables)."""
+
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -261,6 +272,59 @@ def _timed_pass(db, workload, config: BenchConfig) -> dict[str, dict]:
     return out
 
 
+def _parallel_pass(db, workload, config: BenchConfig) -> dict[str, dict]:
+    """Scaling curve of the domain-sharded engine over the workload.
+
+    One serial Ring-KNN reference entry plus one entry per pool size;
+    each records the workload wall time, the solution total (asserted
+    equal to the serial reference — sharding must not change results),
+    and the speedup over the reference.
+    """
+    queries = [
+        query
+        for _family, family_queries in sorted(workload.items())
+        for query in family_queries
+    ]
+
+    def run(engine) -> tuple[float, int, int]:
+        total = 0.0
+        solutions = 0
+        timeouts = 0
+        for query in queries:
+            started = time.perf_counter()
+            result = engine.evaluate(query, timeout=config.timeout)
+            total += time.perf_counter() - started
+            solutions += len(result.solutions)
+            timeouts += int(result.timed_out)
+        return total, solutions, timeouts
+
+    serial_s, serial_solutions, serial_timeouts = run(RingKnnEngine(db))
+    out: dict[str, dict] = {
+        "serial": {
+            "queries": len(queries),
+            "total_s": serial_s,
+            "solutions": serial_solutions,
+            "timeouts": serial_timeouts,
+        }
+    }
+    for workers in config.parallel_workers:
+        engine = ParallelRingKnnEngine(db, workers=workers)
+        total, solutions, timeouts = run(engine)
+        if solutions != serial_solutions and not (timeouts or serial_timeouts):
+            raise ValidationError(
+                f"parallel-knn (workers={workers}) found {solutions} "
+                f"solutions, serial ring-knn found {serial_solutions}"
+            )
+        out[f"workers={workers}"] = {
+            "queries": len(queries),
+            "total_s": total,
+            "solutions": solutions,
+            "timeouts": timeouts,
+            "speedup_vs_serial": (serial_s / total) if total > 0 else 0.0,
+        }
+    return out
+
+
 def collect_opcounts(
     db, workload, engines: tuple[str, ...]
 ) -> dict[str, dict]:
@@ -302,6 +366,11 @@ def run_bench(config: BenchConfig, date: str | None = None) -> dict:
     figure2 = _timed_pass(db, workload, config)
     opcounts = collect_opcounts(db, workload, config.engines)
     micro = run_micro() if config.micro else {}
+    parallel = (
+        _parallel_pass(db, workload, config)
+        if config.parallel_workers
+        else {}
+    )
     doc = {
         "version": BENCH_VERSION,
         "date": date,
@@ -311,6 +380,7 @@ def run_bench(config: BenchConfig, date: str | None = None) -> dict:
         "figure2": figure2,
         "opcounts": opcounts,
         "micro": micro,
+        "parallel": parallel,
         "totals": {
             "figure2_wall_s": float(
                 sum(entry["total_s"] for entry in figure2.values())

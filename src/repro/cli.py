@@ -6,6 +6,7 @@ Subcommands::
     repro query     --data bench.npz --query "(?x, 0, ?y) . knn(?x, ?y, 5)"
     repro explain   --data bench.npz --query "..." [--engine ring-knn --analyze]
     repro trace     --data bench.npz --query "..." [--engine auto --out t.json]
+    repro serve-batch --data bench.npz --queries q.txt [--workers N]
     repro figure2   --timeout 15 [--scale flags]
     repro figure3   [--dataset anuran|drybean --scale 0.12 --K 40]
     repro space     [--scale flags]
@@ -36,6 +37,7 @@ from repro.engines.baseline import BaselineEngine
 from repro.engines.classic import ClassicSixPermEngine
 from repro.engines.database import GraphDatabase
 from repro.engines.materialize import MaterializeEngine
+from repro.engines.parallel_knn import ParallelRingKnnEngine
 from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
 from repro.experiments.figure2 import FIGURE2_HEADERS, figure2_rows, run_figure2
 from repro.experiments.figure3 import FIGURE3_HEADERS, figure3_rows, run_figure3
@@ -50,10 +52,20 @@ ENGINES = {
     "auto": AutoEngine,
     "ring-knn": RingKnnEngine,
     "ring-knn-s": RingKnnSEngine,
+    "parallel-knn": ParallelRingKnnEngine,
     "baseline": BaselineEngine,
     "materialize": MaterializeEngine,
     "sixperm-knn": ClassicSixPermEngine,
 }
+
+
+def _make_engine(name: str, db: GraphDatabase, workers: int = 1):
+    """Instantiate an engine, threading ``--workers`` where it applies."""
+    if name == "parallel-knn":
+        return ParallelRingKnnEngine(db, workers=max(2, workers))
+    if name == "auto" and workers >= 2:
+        return AutoEngine(db, workers=workers)
+    return ENGINES[name](db)
 
 
 def _add_scale_flags(parser: argparse.ArgumentParser) -> None:
@@ -94,7 +106,7 @@ def _load_db(path: str) -> GraphDatabase:
 def _cmd_query(args: argparse.Namespace) -> int:
     db = _load_db(args.data)
     query = parse_query(args.query)
-    engine = ENGINES[args.engine](db)
+    engine = _make_engine(args.engine, db, workers=args.workers)
     result = engine.evaluate(query, timeout=args.timeout, limit=args.limit)
     for solution in result.solutions[: args.print_limit]:
         print(
@@ -124,15 +136,56 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         engine=args.engine,
         analyze=args.analyze,
         timeout=args.timeout,
+        workers=args.workers,
     )
     print(report.format())
+    return 0
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.parallel.scheduler import QueryScheduler
+
+    db = _load_db(args.data)
+    with open(args.queries, encoding="utf-8") as handle:
+        texts = [
+            line.strip()
+            for line in handle
+            if line.strip() and not line.lstrip().startswith("#")
+        ]
+    queries = [parse_query(text) for text in texts]
+    scheduler = QueryScheduler(
+        db,
+        workers=args.workers,
+        parallel_threshold=args.parallel_threshold,
+    )
+    plans = [
+        scheduler.classify(query, index)
+        for index, query in enumerate(queries)
+    ]
+    results = scheduler.run_batch(
+        queries, timeout=args.timeout, limit=args.limit
+    )
+    for text, plan, result in zip(texts, plans, results):
+        flag = " (TIMED OUT)" if result.timed_out else ""
+        print(
+            f"[{plan.index}] {len(result.solutions)} solutions in "
+            f"{result.elapsed:.3f}s via {result.engine} "
+            f"[{plan.route}: {plan.reason}]{flag}"
+        )
+        if args.verbose:
+            print(f"      {text}")
+    total = sum(len(result.solutions) for result in results)
+    print(
+        f"{len(results)} queries, {total} solutions "
+        f"({args.workers} workers)"
+    )
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     db = _load_db(args.data)
     query = parse_query(args.query)
-    engine = ENGINES[args.engine](db)
+    engine = _make_engine(args.engine, db, workers=args.workers)
     trace = QueryTrace(query=args.query)
     engine.evaluate(
         query, timeout=args.timeout, limit=args.limit, trace=trace
@@ -220,6 +273,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(format_diff(diff, args.tolerance))
         return 0 if diff.ok else 1
 
+    parallel_workers: tuple[int, ...] = ()
+    if not args.no_parallel:
+        parallel_workers = tuple(
+            int(w) for w in args.parallel_workers.split(",") if w.strip()
+        )
     config = BenchConfig(
         entities=args.entities,
         images=args.images,
@@ -231,6 +289,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         engines=tuple(args.engines.split(",")),
         micro=not args.no_micro,
+        parallel_workers=parallel_workers,
         label=args.label,
     )
     date = _time.strftime("%Y-%m-%d")
@@ -338,13 +397,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=60.0)
     p.add_argument("--limit", type=int, default=None)
     p.add_argument("--print-limit", type=int, default=20)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker pool size for parallel-knn (and auto with >= 2)",
+    )
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("explain", help="explain a query plan")
     p.add_argument("--data", required=True)
     p.add_argument("--query", required=True)
     p.add_argument(
-        "--engine", choices=["ring-knn", "ring-knn-s"], default="ring-knn"
+        "--engine",
+        choices=["ring-knn", "ring-knn-s", "parallel-knn"],
+        default="ring-knn",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="pool size of the parallel-knn analyze run",
     )
     p.add_argument(
         "--analyze",
@@ -365,7 +438,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=None)
     p.add_argument("--out", default=None, help="write JSON here (else stdout)")
     p.add_argument("--indent", type=int, default=2)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker pool size for parallel-knn (and auto with >= 2)",
+    )
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "serve-batch",
+        help="schedule a batch of queries over one worker pool",
+    )
+    p.add_argument("--data", required=True, help=".npz bundle")
+    p.add_argument(
+        "--queries",
+        required=True,
+        help="text file, one query per line ('#' comments allowed)",
+    )
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument(
+        "--parallel-threshold",
+        type=int,
+        default=256,
+        help="first-level estimate above which a query is domain-sharded",
+    )
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument(
+        "--verbose", action="store_true", help="echo each query text"
+    )
+    p.set_defaults(func=_cmd_serve_batch)
 
     p = sub.add_parser("figure2", help="regenerate Figure 2")
     _add_scale_flags(p)
@@ -402,6 +505,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated engine subset",
     )
     p.add_argument("--no-micro", action="store_true")
+    p.add_argument(
+        "--parallel-workers",
+        default="1,2,4",
+        help="comma-separated pool sizes of the parallel scaling curve",
+    )
+    p.add_argument(
+        "--no-parallel",
+        action="store_true",
+        help="skip the parallel scaling pass",
+    )
     p.add_argument("--label", default="", help="free-form run label")
     p.add_argument(
         "--out", default=None, help="output path (default BENCH_<date>.json)"

@@ -25,13 +25,43 @@ from repro.query.model import ExtendedBGP
 
 
 class AutoEngine:
-    """Pick Ring-KNN or Ring-KNN-S per query, per the Sec. 6.2 summary."""
+    """Pick Ring-KNN or Ring-KNN-S per query, per the Sec. 6.2 summary.
+
+    With ``workers >= 2`` the selected strategy runs domain-sharded over
+    a worker pool (:class:`~repro.engines.parallel_knn.ParallelRingKnnEngine`
+    wrapping it); the strategy selection itself is unchanged, and so are
+    the results — sharded execution is byte-identical.
+    """
 
     name = "auto"
 
-    def __init__(self, db: GraphDatabase, exact_estimates: bool = False) -> None:
+    def __init__(
+        self,
+        db: GraphDatabase,
+        exact_estimates: bool = False,
+        workers: int = 1,
+    ) -> None:
+        self._db = db
+        self._exact_estimates = exact_estimates
         self._ring_knn = RingKnnEngine(db, exact_estimates=exact_estimates)
         self._ring_knn_s = RingKnnSEngine(db, exact_estimates=exact_estimates)
+        self.workers = int(workers)
+        self._parallel: dict[str, object] = {}
+
+    def _parallel_for(self, base: str):
+        """Cached sharding wrapper around the selected serial engine."""
+        engine = self._parallel.get(base)
+        if engine is None:
+            from repro.engines.parallel_knn import ParallelRingKnnEngine
+
+            engine = ParallelRingKnnEngine(
+                self._db,
+                workers=self.workers,
+                exact_estimates=self._exact_estimates,
+                base=base,
+            )
+            self._parallel[base] = engine
+        return engine
 
     def select(self, query: ExtendedBGP) -> str:
         """Return the chosen engine name for ``query``."""
@@ -61,6 +91,11 @@ class AutoEngine:
                 "constraints": n_constraints,
                 "acyclic": ConstraintGraph(query).is_acyclic(),
             }
+        if self.workers >= 2:
+            engine = self._parallel_for(selected)
+            return engine.evaluate(
+                query, timeout=timeout, limit=limit, trace=trace
+            )
         if selected == self._ring_knn_s.name:
             return self._ring_knn_s.evaluate(
                 query, timeout=timeout, limit=limit, trace=trace

@@ -152,7 +152,27 @@ def _format_analysis(trace: QueryTrace) -> list[str]:
             "decisions not shown"
         )
     for key, value in trace.meta.items():
+        if key == "parallel":
+            lines.extend(_format_parallel_meta(value))
+            continue
         lines.append(f"    meta {key}: {value}")
+    return lines
+
+
+def _format_parallel_meta(meta: dict) -> list[str]:
+    """Render ``trace.meta["parallel"]`` (domain-sharded execution)."""
+    first = meta.get("first_variable")
+    lines = [
+        f"    parallel: {meta.get('workers')} workers "
+        f"({meta.get('mode')}), "
+        f"?{first} sharded over {meta.get('candidates')} candidates"
+    ]
+    for shard in meta.get("shards", []):
+        lines.append(
+            f"      shard {shard['shard']}: {shard['candidates']} "
+            f"candidates -> {shard['solutions']} solutions "
+            f"in {shard['elapsed_s']:.4f}s"
+        )
     return lines
 
 
@@ -163,24 +183,39 @@ def explain(
     probe: bool = True,
     analyze: bool = False,
     timeout: float | None = None,
+    workers: int = 2,
 ) -> PlanReport:
     """Analyze a query — statically, or (``analyze``) by executing it.
 
     Args:
         db: the indexed database.
         query: the extended BGP.
-        engine: ``"ring-knn"`` or ``"ring-knn-s"``.
+        engine: ``"ring-knn"``, ``"ring-knn-s"`` or ``"parallel-knn"``
+            (domain-sharded Ring-KNN; static analysis is the base
+            engine's, the ``analyze`` run executes sharded and reports
+            per-shard timings).
         probe: run a limit-1 evaluation to capture the actual first
             elimination order (cheap for non-pathological queries).
         analyze: EXPLAIN ANALYZE — run the query to completion under a
             :class:`QueryTrace` and attach the observed counters as
             ``report.analysis`` (rendered by ``format()``).
         timeout: time budget for the ``analyze`` run.
+        workers: pool size of the ``parallel-knn`` analyze run.
     """
+    parallel = engine == "parallel-knn"
+    base = "ring-knn" if parallel else engine
     engine_cls = {"ring-knn": RingKnnEngine, "ring-knn-s": RingKnnSEngine}[
-        engine
+        base
     ]
     driver = engine_cls(db)
+    if parallel:
+        from repro.engines.parallel_knn import ParallelRingKnnEngine
+
+        analyze_driver: object = ParallelRingKnnEngine(
+            db, workers=workers, base=base
+        )
+    else:
+        analyze_driver = driver
     relations = driver.compile(query)
     ltj = LTJEngine(relations, ordering=driver._ordering(query))
     context = ltj._context({})
@@ -193,8 +228,9 @@ def explain(
     else:
         constraint_class = "general-cyclic"
     # Thm. 2 covers acyclic, Thm. 3 single 2-cyclic, both under the
-    # constraint-aware ordering (Ring-KNN).
-    wco = engine == "ring-knn" and constraint_class in (
+    # constraint-aware ordering (Ring-KNN; domain-sharding preserves the
+    # ordering, so parallel-knn inherits its base engine's guarantee).
+    wco = base == "ring-knn" and constraint_class in (
         "acyclic",
         "single-2-cyclic",
     )
@@ -214,7 +250,7 @@ def explain(
             domain_size=max(db.graph.domain_size, 2),
         )
         q_star = bound.q_star
-    if engine == "ring-knn-s" and constraint_class != "acyclic":
+    if base == "ring-knn-s" and constraint_class != "acyclic":
         notes.append(
             "Ring-KNN-S may bind constraint targets early; expect higher "
             "variance on cyclic constraint graphs (Sec. 6.2)"
@@ -242,6 +278,6 @@ def explain(
         report.probe_solutions_found = len(solutions)
     if analyze:
         trace = QueryTrace(query=repr(query))
-        driver.evaluate(query, timeout=timeout, trace=trace)
+        analyze_driver.evaluate(query, timeout=timeout, trace=trace)
         report.analysis = trace
     return report

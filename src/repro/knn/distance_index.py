@@ -109,6 +109,26 @@ class DistanceRangeIndex:
         bits[one_positions] = 1
         self._B = BitVector(bits)
 
+    # ------------------------------------------------------------------
+    # pickling (worker-pool transport)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle without the plain-int bisect mirror (rebuilt lazily)."""
+        state = dict(self.__dict__)
+        state.pop("_members_i", None)
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._members.setflags(write=False)
+
+    def __getattr__(self, name: str) -> list[int]:
+        if name == "_members_i":
+            value: list[int] = [int(m) for m in self._members]
+            self.__dict__[name] = value
+            return value
+        raise AttributeError(name)
+
     @property
     def members(self) -> np.ndarray:
         return self._members

@@ -12,6 +12,7 @@ the core idea of Sec. 3.3.
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
 
 from repro.ltj.ordering import MinCandidatesOrdering, OrderingContext, OrderingStrategy
 from repro.ltj.stats import EvaluationStats
@@ -21,6 +22,19 @@ from repro.utils.timing import Stopwatch
 
 # How many candidate attempts between timeout polls.
 _TIMEOUT_CHECK_INTERVAL = 256
+
+
+@dataclass(frozen=True)
+class FirstLevelPlan:
+    """Outcome of :meth:`LTJEngine.first_level`: the first variable the
+    ordering chose and its full leapfrog-intersected candidate list.
+
+    ``variable`` is ``None`` when some relation is statically empty —
+    the search space is empty and there is nothing to shard.
+    """
+
+    variable: Var | None
+    candidates: tuple[int, ...]
 
 
 class LTJEngine:
@@ -160,6 +174,166 @@ class LTJEngine:
     def evaluate(self) -> list[dict[Var, int]]:
         """Collect all solutions into a list (see :meth:`run`)."""
         return list(self.run())
+
+    # ------------------------------------------------------------------
+    # domain-sharded evaluation (see repro.parallel)
+    # ------------------------------------------------------------------
+    def first_level(self) -> FirstLevelPlan:
+        """Serial-identical depth-0 prologue of a domain-sharded run.
+
+        Performs exactly the work the serial :meth:`run` does before the
+        first bind: resets stats, attaches the per-query memos, checks
+        relation emptiness, lets the ordering choose the first variable,
+        and enumerates that variable's full leapfrog intersection
+        *without binding any candidate*. ``leap`` is pure given the
+        current (empty) binding stack, so the candidate list — and every
+        counter recorded along the way (attempts, per-variable candidate
+        and leap counts, the depth-0 ordering decision, wavelet op
+        counts) — is identical to the serial run's depth-0 contribution.
+        A sharded execution that hands a partition of the candidates to
+        :meth:`run_prebound` workers therefore sums to the serial totals
+        exactly, for any partition.
+
+        The trace (if any) is *not* finished here: the caller merges the
+        workers' counters first and finalizes the trace itself.
+        """
+        if not self._variables:
+            raise QueryError(
+                "first_level requires at least one variable to shard on"
+            )
+        stopwatch = Stopwatch(self._timeout)
+        self.stats = EvaluationStats()
+        self.stats.sim_variables = frozenset(
+            v
+            for r in self._relations
+            if self._is_similarity(r)
+            for v in r.variables
+        )
+        trees = self._memo_trees()
+        for tree in trees:
+            tree.begin_query_memo()
+        try:
+            if any(r.is_empty() for r in self._relations):
+                return FirstLevelPlan(None, ())
+            context = self._context({})
+            var = self._ordering.choose(context)
+            self.stats.first_descent_order.append(var)
+            atoms = [r for r in self._relations if var in r.free_variables]
+            vc = None
+            if self._trace is not None:
+                self._trace.record_decision(
+                    0,
+                    var,
+                    context.estimates,
+                    self._ordering.describe(context, var),
+                )
+                vc = self._trace.var(var)
+                vc.fanout = max(vc.fanout, len(atoms))
+            candidates: list[int] = []
+            candidate = 0
+            while True:
+                found = self._leapfrog(atoms, var, candidate, vc)
+                if found is None:
+                    break
+                self.stats.attempts += 1
+                if vc is not None:
+                    vc.candidates += 1
+                candidates.append(found)
+                if self.stats.attempts % _TIMEOUT_CHECK_INTERVAL == 0:
+                    if stopwatch.expired():
+                        self.stats.timed_out = True
+                        break
+                candidate = found + 1
+            return FirstLevelPlan(var, tuple(candidates))
+        finally:
+            for tree in trees:
+                tree.end_query_memo()
+            self.stats.elapsed = stopwatch.elapsed()
+
+    def run_prebound(
+        self, var: Var, candidates: Sequence[int]
+    ) -> Iterator[dict[Var, int]]:
+        """Resume the search below pre-enumerated first-level candidates.
+
+        The worker half of a domain-sharded run: ``var`` is the first
+        variable a :meth:`first_level` call chose (on an identically
+        compiled engine) and ``candidates`` a contiguous slice of the
+        candidate list it enumerated. Each candidate is bound in every
+        atom containing ``var`` and the ordinary recursive search
+        continues at depth 1. Depth-0 work — the ordering decision, the
+        candidate attempts, the leapfrog ``leap`` calls — is *not*
+        re-recorded here, because the parent already counted it; what is
+        recorded (bindings, failed bindings, all depth >= 1 counters)
+        is precisely the serial run's share for these candidates.
+        """
+        if var not in self._variables:
+            raise QueryError(f"unknown first variable {var!r}")
+        stopwatch = Stopwatch(self._timeout)
+        self.stats = EvaluationStats()
+        self.stats.sim_variables = frozenset(
+            v
+            for r in self._relations
+            if self._is_similarity(r)
+            for v in r.variables
+        )
+        trees = self._memo_trees()
+        for tree in trees:
+            tree.begin_query_memo()
+        try:
+            if not any(r.is_empty() for r in self._relations):
+                atoms = [
+                    r for r in self._relations if var in r.free_variables
+                ]
+                vc = (
+                    self._trace.var(var)
+                    if self._trace is not None
+                    else None
+                )
+                assignment: dict[Var, int] = {}
+                first_descent = True
+                polled = 0
+                for candidate in candidates:
+                    polled += 1
+                    if polled % _TIMEOUT_CHECK_INTERVAL == 0:
+                        if stopwatch.expired():
+                            raise _Expired()
+                    ok = True
+                    bound_atoms = []
+                    for relation in atoms:
+                        bound_atoms.append(relation)
+                        if not relation.bind(var, candidate):
+                            ok = False
+                            break
+                    if vc is not None:
+                        if ok:
+                            vc.bindings += 1
+                        else:
+                            vc.failed_bindings += 1
+                    if ok:
+                        self.stats.bindings += 1
+                        assignment[var] = candidate
+                        yield from self._search(
+                            assignment, stopwatch, first_descent
+                        )
+                        first_descent = False
+                        del assignment[var]
+                        if (
+                            self._limit is not None
+                            and self.stats.solutions >= self._limit
+                        ):
+                            for relation in reversed(bound_atoms):
+                                relation.unbind(var)
+                            return
+                    for relation in reversed(bound_atoms):
+                        relation.unbind(var)
+        except _Expired:
+            self.stats.timed_out = True
+        finally:
+            for tree in trees:
+                tree.end_query_memo()
+            self.stats.elapsed = stopwatch.elapsed()
+            if self._trace is not None:
+                self._trace.finish(self.stats)
 
     # ------------------------------------------------------------------
     def _search(

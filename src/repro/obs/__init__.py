@@ -7,6 +7,7 @@ traces across runs.
 """
 
 from repro.obs.diff import CounterDelta, diff_traces, flatten_counters, format_diff
+from repro.obs.merge import merge_shard_traces
 from repro.obs.schema import TRACE_SCHEMA, TraceSchemaError, validate_trace
 from repro.obs.trace import (
     OpCounters,
@@ -33,6 +34,7 @@ __all__ = [
     "flatten_counters",
     "format_diff",
     "instrument_relations",
+    "merge_shard_traces",
     "validate_trace",
     "wavelet_targets",
 ]

@@ -1,0 +1,95 @@
+"""Merging per-shard traces into one query-level trace.
+
+A domain-sharded evaluation (:mod:`repro.parallel`) runs the depth-0
+leapfrog enumeration in the parent process and the per-candidate
+sub-searches in pool workers, each worker recording its own
+:class:`~repro.obs.trace.QueryTrace`. This module folds the workers'
+JSON trace documents back into the parent's recorder so that the merged
+counters are *pool-size invariant*: for every pool size (including 1)
+and every contiguous partition of the candidate list, the merged trace's
+logical op counts equal the serial engine's trace exactly. Wall-clock
+fields (``elapsed``, ``phases``) are the only aggregates that legitimately
+differ between serial and sharded runs.
+
+Why this works: ``leap`` is pure given the binding stack, the parent
+replays the serial depth-0 enumeration verbatim (counting its attempts,
+leaps and the depth-0 ordering decision), and each worker counts exactly
+the depth >= 1 work of its candidate slice. Counter merging is therefore
+plain summation — per variable by name, per atom by compile position
+(all processes compile the same query in the same order), per wavelet
+tree by label — plus two order-sensitive pieces handled here: the
+ordering-decision list (concatenated in shard order, re-capped at
+``MAX_DECISIONS``) and the max-merge of per-variable fanout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.obs.trace import MAX_DECISIONS, OrderingDecision, QueryTrace
+from repro.query.model import Var
+
+
+def merge_shard_traces(
+    trace: QueryTrace,
+    shard_docs: Sequence[Mapping[str, Any]],
+) -> None:
+    """Fold worker trace documents into the parent recorder.
+
+    Args:
+        trace: the parent :class:`QueryTrace` holding the depth-0
+            counters (the one the sharding driver passed to
+            ``LTJEngine.first_level``).
+        shard_docs: the workers' ``QueryTrace.to_dict()`` documents, in
+            shard order. Order matters: decisions concatenate in
+            candidate order — exactly the order the serial engine would
+            have recorded them — before the global ``MAX_DECISIONS`` cap
+            is re-applied, so both the detailed prefix and the dropped
+            count match the serial trace.
+    """
+    for doc in shard_docs:
+        for name, counters in doc["variables"].items():
+            vc = trace.var(Var(name))
+            vc.leaps += counters["leaps"]
+            vc.candidates += counters["candidates"]
+            vc.bindings += counters["bindings"]
+            vc.failed_bindings += counters["failed_bindings"]
+            vc.times_chosen += counters["times_chosen"]
+            vc.fanout = max(vc.fanout, counters["fanout"])
+        for index, rel in enumerate(doc["relations"]):
+            if index < len(trace.relations):
+                target = trace.relations[index]
+            else:
+                # A worker registered an atom the parent never touched;
+                # cannot happen with identical compiles, but stay total.
+                target = trace.relation(rel["label"], rel["kind"])
+            target.leaps += rel["leaps"]
+            target.binds += rel["binds"]
+            target.unbinds += rel["unbinds"]
+            target.failed_binds += rel["failed_binds"]
+            target.estimates += rel["estimates"]
+            for key, n in rel["detail"].items():
+                target.bump(key, n)
+        for label, ops in doc["wavelets"].items():
+            target_ops = trace.wavelet(label)
+            target_ops.rank += ops["rank"]
+            target_ops.select += ops["select"]
+            target_ops.access += ops["access"]
+            target_ops.range_next += ops["range_next"]
+            target_ops.range_count += ops["range_count"]
+            target_ops.quantile += ops["quantile"]
+        for decision in doc["ordering"]:
+            if len(trace.decisions) >= MAX_DECISIONS:
+                trace.decisions_dropped += 1
+                continue
+            trace.decisions.append(
+                OrderingDecision(
+                    depth=decision["depth"],
+                    variable=decision["variable"],
+                    estimates=dict(decision["estimates"]),
+                    reason=decision["reason"],
+                )
+            )
+        trace.decisions_dropped += doc["ordering_dropped"]
+        for name, seconds in doc["phases"].items():
+            trace.add_phase(f"shard:{name}", seconds)

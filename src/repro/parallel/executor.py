@@ -1,0 +1,338 @@
+"""Domain-sharded parallel LTJ execution over a multiprocessing pool.
+
+The decomposition (Mhedhbi & Salihoglu, VLDB 2019; the LogicBlox
+"old dog" line): LTJ's search tree is embarrassingly parallel at the
+first variable. The parent process replays the serial engine's depth-0
+work verbatim — ordering choice, full leapfrog intersection of the first
+variable — then splits the candidate list into contiguous shards and
+hands each to a pool worker, which binds its candidates and searches
+depth >= 1 with the identical compile order and ordering strategy.
+Merging shard solution streams *in shard order* reproduces the serial
+solution list byte for byte, and summing shard counters with the
+parent's reproduces the serial stats and trace op counts for any pool
+size (see :mod:`repro.obs.merge` for the invariance argument).
+
+Pools are cached per (database, pool size): the cache holds a strong
+reference to the database (so the id-based key can never alias a
+collected object) and workers inherit the indexes by fork where
+available, falling back to pickling through the succinct structures'
+cache-dropping ``__getstate__``.
+
+Known, documented divergences from the serial engine:
+
+* under a ``timeout``, partial results may differ (shards poll their
+  own budgets);
+* under a ``limit``, the returned solutions are identical but the
+  stats may over-count (shards cap at ``limit`` each, the serial
+  engine stops globally).
+
+Full enumerations — the differential/equivalence suites, the forced
+CI smoke mode — are byte-identical.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import time
+from collections import OrderedDict
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.ltj.engine import LTJEngine
+from repro.ltj.stats import EvaluationStats
+from repro.obs.merge import merge_shard_traces
+from repro.obs.trace import (
+    attach_wavelets,
+    instrument_relations,
+    wavelet_targets,
+)
+from repro.parallel.worker import (
+    QueryTask,
+    ShardOutcome,
+    ShardTask,
+    _init_worker,
+    run_query,
+    run_shard,
+)
+from repro.query.model import ExtendedBGP, Var
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engines.database import GraphDatabase
+
+#: Default pool size of the parallel engine and the scheduler.
+DEFAULT_WORKERS = 2
+
+#: Contiguous shards handed out per worker. Finer than the pool size for
+#: load balancing; any split yields the same merged results/counters.
+SHARDS_PER_WORKER = 2
+
+
+# ----------------------------------------------------------------------
+# pool lifecycle
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """A lazily started multiprocessing pool bound to one database."""
+
+    def __init__(self, db: "GraphDatabase", workers: int) -> None:
+        self._db = db  # strong ref: pins id(db) while the pool is cached
+        self.workers = max(2, int(workers))
+        self.start_method = "unstarted"
+        self._pool: Any = None
+
+    def _start(self) -> Any:
+        if self._pool is None:
+            try:
+                ctx = multiprocessing.get_context("fork")
+                self.start_method = "fork"
+            except ValueError:  # pragma: no cover - non-fork platforms
+                ctx = multiprocessing.get_context("spawn")
+                self.start_method = "spawn"
+            self._pool = ctx.Pool(
+                self.workers,
+                initializer=_init_worker,
+                initargs=(self._db,),
+            )
+        return self._pool
+
+    def map_shards(self, tasks: Sequence[ShardTask]) -> list[ShardOutcome]:
+        """Run shard tasks, returning outcomes in task (shard) order."""
+        pool = self._start()
+        return list(pool.map(run_shard, tasks, chunksize=1))
+
+    def submit_query(self, task: QueryTask) -> Any:
+        """Submit one whole-query task; returns an ``AsyncResult``."""
+        pool = self._start()
+        return pool.apply_async(run_query, (task,))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+_POOLS: "OrderedDict[tuple[int, int], WorkerPool]" = OrderedDict()
+
+#: Cached pools (each holds ``workers`` processes). Small LRU so runs
+#: that churn through many databases (forced-mode test suites) do not
+#: accumulate processes.
+_MAX_POOLS = 4
+
+
+def pool_for(db: "GraphDatabase", workers: int) -> WorkerPool:
+    """Get-or-create the cached pool for ``(db, workers)``."""
+    key = (id(db), workers)
+    pool = _POOLS.get(key)
+    if pool is None:
+        pool = WorkerPool(db, workers)
+        _POOLS[key] = pool
+        while len(_POOLS) > _MAX_POOLS:
+            _key, evicted = _POOLS.popitem(last=False)
+            evicted.close()
+    else:
+        _POOLS.move_to_end(key)
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close every cached pool (atexit hook; also handy in tests)."""
+    while _POOLS:
+        _key, pool = _POOLS.popitem(last=False)
+        pool.close()
+
+
+atexit.register(shutdown_pools)
+
+
+# ----------------------------------------------------------------------
+# sharded evaluation
+# ----------------------------------------------------------------------
+@dataclass
+class ParallelOutcome:
+    """Merged outcome of a domain-sharded evaluation."""
+
+    solutions: list[dict[Var, int]]
+    stats: EvaluationStats
+    meta: dict[str, Any] = field(default_factory=dict)
+    """Execution shape: workers, start method, per-shard breakdown."""
+
+
+def _split(
+    candidates: tuple[int, ...], n_shards: int
+) -> list[tuple[int, ...]]:
+    """Contiguous near-equal slices preserving candidate order."""
+    base, extra = divmod(len(candidates), n_shards)
+    shards: list[tuple[int, ...]] = []
+    start = 0
+    for i in range(n_shards):
+        size = base + (1 if i < extra else 0)
+        shards.append(candidates[start : start + size])
+        start += size
+    return shards
+
+
+def _finalize(
+    solutions: list[dict[Var, int]],
+    project: list | None,
+    distinct: bool,
+    limit: int | None,
+) -> list[dict[Var, int]]:
+    """Apply projection/dedup/limit exactly as the serial engines do.
+
+    Mirrors ``_RingEngineBase._collect``: without ``project and
+    distinct`` the serial engine caps the *raw* enumeration at ``limit``
+    (so dedup may return fewer); with both, it dedups the full stream
+    and truncates after. Replicating that shape keeps the parallel
+    output byte-identical.
+    """
+    if limit is not None and not (project and distinct):
+        solutions = solutions[:limit]
+    if not project and not distinct:
+        return solutions
+    out: list[dict[Var, int]] = []
+    seen: set[tuple] = set()
+    for solution in solutions:
+        if project:
+            solution = {v: solution[v] for v in project}
+        if distinct:
+            key = tuple(sorted((v.name, c) for v, c in solution.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+        out.append(solution)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def evaluate_parallel(
+    driver,
+    query: ExtendedBGP,
+    *,
+    workers: int = DEFAULT_WORKERS,
+    timeout: float | None = None,
+    limit: int | None = None,
+    project: list | None = None,
+    distinct: bool = False,
+    trace=None,
+    shards_per_worker: int = SHARDS_PER_WORKER,
+) -> ParallelOutcome | None:
+    """Evaluate ``query`` domain-sharded, using ``driver``'s compile
+    order and ordering strategy (``driver`` is a serial Ring engine).
+
+    Returns ``None`` when the query cannot be sharded — it has no
+    variables — in which case the caller should evaluate serially.
+    The caller owns the trace's ``engine``/``query`` labels; this
+    function records counters, shard metadata (``meta["parallel"]``)
+    and finalizes the trace from the merged stats.
+    """
+    db = driver._db
+    relations = driver.compile(query)
+    engine = LTJEngine(
+        relations,
+        ordering=driver._ordering(query),
+        timeout=timeout,
+        trace=trace,
+    )
+    if not engine.variables:
+        return None
+    started = time.perf_counter()
+    if trace is None:
+        attached = nullcontext()
+    else:
+        if trace.query is None:
+            trace.query = repr(query)
+        instrument_relations(trace, relations)
+        attached = attach_wavelets(wavelet_targets(trace, db, query))
+    with attached:
+        plan = engine.first_level()
+    parent = engine.stats
+
+    shard_lists: list[tuple[int, ...]] = []
+    outcomes: list[ShardOutcome] = []
+    mode = "empty"
+    engine_limit = None if (project and distinct) else limit
+    if plan.variable is not None and plan.candidates and not parent.timed_out:
+        n_shards = min(
+            len(plan.candidates), max(1, workers) * max(1, shards_per_worker)
+        )
+        shard_lists = _split(plan.candidates, n_shards)
+        remaining = None
+        if timeout is not None:
+            remaining = max(timeout - (time.perf_counter() - started), 0.0)
+        tasks = [
+            ShardTask(
+                index=i,
+                query=query,
+                engine=driver.name,
+                exact_estimates=driver._exact_estimates,
+                variable=plan.variable.name,
+                candidates=chunk,
+                budget=remaining,
+                limit=engine_limit,
+                traced=trace is not None,
+            )
+            for i, chunk in enumerate(shard_lists)
+        ]
+        if workers <= 1:
+            mode = "inline"
+            outcomes = [run_shard(task, db=db) for task in tasks]
+        else:
+            pool = pool_for(db, workers)
+            outcomes = pool.map_shards(tasks)
+            mode = pool.start_method
+
+    # ------------------------------------------------------------------
+    # merge (shard order == candidate order == serial order)
+    # ------------------------------------------------------------------
+    merged = EvaluationStats()
+    merged.sim_variables = parent.sim_variables
+    merged.attempts = parent.attempts
+    merged.leap_calls = parent.leap_calls
+    merged.timed_out = parent.timed_out
+    order: list[Var] = list(parent.first_descent_order)
+    solutions: list[dict[Var, int]] = []
+    shards_meta: list[dict[str, Any]] = []
+    for outcome in outcomes:
+        merged.solutions += outcome.solutions_found
+        merged.bindings += outcome.bindings
+        merged.attempts += outcome.attempts
+        merged.leap_calls += outcome.leap_calls
+        merged.timed_out = merged.timed_out or outcome.timed_out
+        if len(order) == 1 and outcome.first_descent:
+            order.extend(Var(name) for name in outcome.first_descent)
+        solutions.extend(
+            {Var(name): value for name, value in solution.items()}
+            for solution in outcome.solutions
+        )
+        shards_meta.append(
+            {
+                "shard": outcome.index,
+                "candidates": len(shard_lists[outcome.index]),
+                "solutions": outcome.solutions_found,
+                "elapsed_s": outcome.elapsed,
+            }
+        )
+    merged.first_descent_order = order
+    merged.elapsed = time.perf_counter() - started
+    meta: dict[str, Any] = {
+        "workers": workers,
+        "mode": mode,
+        "first_variable": (
+            None if plan.variable is None else plan.variable.name
+        ),
+        "candidates": len(plan.candidates),
+        "shards": shards_meta,
+    }
+    final = _finalize(solutions, project, distinct, limit)
+    if trace is not None:
+        merge_shard_traces(
+            trace,
+            [o.trace for o in outcomes if o.trace is not None],
+        )
+        trace.meta["parallel"] = meta
+        trace.add_phase("evaluate", merged.elapsed)
+        trace.finish(merged)
+    return ParallelOutcome(solutions=final, stats=merged, meta=meta)

@@ -1,0 +1,47 @@
+"""Environment-driven forced parallel execution.
+
+The CI parallel-smoke job runs the whole tier-1 suite with
+``REPRO_PARALLEL_WORKERS=2``: every full-enumeration evaluation of the
+Ring engines (untraced, untimed, unlimited, unprojected) is then
+transparently domain-sharded across a worker pool,
+and the suite must stay green because the sharded execution returns
+byte-identical solutions and stats (see :mod:`repro.parallel.executor`).
+
+This module is deliberately import-light (stdlib ``os`` only) so the
+engines can consult it without creating an import cycle with the
+executor machinery.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable forcing domain-sharded execution of the Ring
+#: engines with the given pool size. Values below 2 (or non-integers)
+#: are ignored — forcing a pool of one would only add overhead.
+ENV_WORKERS = "REPRO_PARALLEL_WORKERS"
+
+# Set inside pool workers: a worker must never recursively shard the
+# queries it evaluates (daemonic processes cannot fork children).
+_IN_WORKER = False
+
+
+def mark_worker_process() -> None:
+    """Disable forced sharding in this process (called by the pool
+    initializer in every worker)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def forced_workers() -> int:
+    """Pool size forced via the environment, or 0 when not forced."""
+    if _IN_WORKER:
+        return 0
+    raw = os.environ.get(ENV_WORKERS)
+    if not raw:
+        return 0
+    try:
+        workers = int(raw)
+    except ValueError:
+        return 0
+    return workers if workers >= 2 else 0

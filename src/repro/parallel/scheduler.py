@@ -1,0 +1,224 @@
+"""Batched query scheduling over the shared worker pool.
+
+Inter-query batching complements the executor's intra-query sharding:
+given a batch of extended BGPs, the scheduler classifies each query —
+using the same ``auto`` strategy selection and the compiled relations'
+``l_x`` estimates the serial engines already expose — as either
+*parallel-worthy* (its first-variable candidate range is large enough
+that domain-sharding pays for the pool round trip) or *small* (the
+whole query is cheaper than the dispatch overhead of sharding it).
+
+Parallel-worthy queries are domain-sharded one at a time so each gets
+the full pool; small queries are multiplexed across the pool whole,
+with a bounded pending window so a long batch never buffers more than
+``max_pending`` outstanding tasks. Results come back in input order
+and each is the byte-identical :class:`QueryResult` the serial ``auto``
+engine would have produced for that query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.engines.auto import AutoEngine
+from repro.engines.result import QueryResult
+from repro.ltj.stats import EvaluationStats
+from repro.parallel.executor import (
+    DEFAULT_WORKERS,
+    evaluate_parallel,
+    pool_for,
+)
+from repro.parallel.worker import QueryOutcome, QueryTask
+from repro.query.model import ExtendedBGP, Var
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engines.database import GraphDatabase
+
+#: First-variable candidate estimate above which a query is worth
+#: domain-sharding. Below it, pool dispatch overhead dominates.
+DEFAULT_PARALLEL_THRESHOLD = 256
+
+
+@dataclass(frozen=True)
+class ScheduledQuery:
+    """Classification of one batch member."""
+
+    index: int
+    route: str
+    """``"parallel"`` (domain-sharded), ``"pooled"`` (whole query in one
+    worker) or ``"serial"`` (evaluated in the scheduler's process)."""
+
+    engine: str
+    """Serial strategy selected by ``auto`` for this query."""
+
+    estimate: int
+    """Smallest per-variable candidate estimate — an upper bound on the
+    first leapfrog level's size under either ordering."""
+
+    reason: str
+
+
+class QueryScheduler:
+    """Classify and run a batch of queries over one worker pool."""
+
+    def __init__(
+        self,
+        db: "GraphDatabase",
+        workers: int = DEFAULT_WORKERS,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+        exact_estimates: bool = False,
+        max_pending: int | None = None,
+    ) -> None:
+        self._db = db
+        self._auto = AutoEngine(db, exact_estimates=exact_estimates)
+        self._exact_estimates = exact_estimates
+        self.workers = int(workers)
+        self.parallel_threshold = parallel_threshold
+        self.max_pending = (
+            max_pending if max_pending is not None else 2 * max(1, workers)
+        )
+
+    def _driver(self, name: str):
+        if name == self._auto._ring_knn_s.name:
+            return self._auto._ring_knn_s
+        return self._auto._ring_knn
+
+    def classify(self, query: ExtendedBGP, index: int = 0) -> ScheduledQuery:
+        """Route one query using the serial engines' own estimates.
+
+        The routing statistic is the minimum over variables of the
+        smallest participating relation's ``estimate`` — the size the
+        adaptive orderings minimize when choosing the first variable,
+        hence an upper bound on the shardable candidate range.
+        """
+        engine = self._auto.select(query)
+        relations = self._driver(engine).compile(query)
+        variables: set[Var] = set()
+        for relation in relations:
+            variables |= relation.variables
+        if not variables:
+            return ScheduledQuery(
+                index=index,
+                route="pooled",
+                engine=engine,
+                estimate=0,
+                reason="no variables to shard",
+            )
+        estimate = min(
+            min(
+                relation.estimate(var)
+                for relation in relations
+                if var in relation.variables
+            )
+            for var in sorted(variables, key=lambda v: v.name)
+        )
+        if self.workers <= 1:
+            route, reason = "serial", "pool size 1"
+        elif estimate >= self.parallel_threshold:
+            route = "parallel"
+            reason = (
+                f"first-level estimate {estimate} >= "
+                f"threshold {self.parallel_threshold}"
+            )
+        else:
+            route = "pooled"
+            reason = (
+                f"first-level estimate {estimate} < "
+                f"threshold {self.parallel_threshold}"
+            )
+        return ScheduledQuery(
+            index=index,
+            route=route,
+            engine=engine,
+            estimate=estimate,
+            reason=reason,
+        )
+
+    def run_batch(
+        self,
+        queries: Sequence[ExtendedBGP],
+        *,
+        timeout: float | None = None,
+        limit: int | None = None,
+    ) -> list[QueryResult]:
+        """Evaluate a batch, returning results in input order.
+
+        Every returned :class:`QueryResult` carries the solutions the
+        serial ``auto`` engine would produce, in the same order.
+        """
+        if self.workers <= 1:
+            serial: list[QueryResult] = []
+            for query in queries:
+                outcome = self._auto.evaluate(
+                    query, timeout=timeout, limit=limit
+                )
+                serial.append(outcome)
+            return serial
+        plans = [
+            self.classify(query, index) for index, query in enumerate(queries)
+        ]
+        results: list[QueryResult | None] = [None] * len(plans)
+
+        # Small queries first: fill the pool with whole-query tasks
+        # through a bounded pending window...
+        pending: list[tuple[int, object]] = []
+        pool = pool_for(self._db, self.workers)
+        for plan in plans:
+            if plan.route != "pooled":
+                continue
+            task = QueryTask(
+                index=plan.index,
+                query=queries[plan.index],
+                engine=plan.engine,
+                exact_estimates=self._exact_estimates,
+                timeout=timeout,
+                limit=limit,
+            )
+            if len(pending) >= self.max_pending:
+                index, handle = pending.pop(0)
+                results[index] = _result_from_outcome(handle.get())
+            pending.append((plan.index, pool.submit_query(task)))
+        # ...then shard the big ones one at a time, each getting the
+        # whole pool, while the small tail drains.
+        for plan in plans:
+            if plan.route != "parallel":
+                continue
+            driver = self._driver(plan.engine)
+            outcome = evaluate_parallel(
+                driver,
+                queries[plan.index],
+                workers=self.workers,
+                timeout=timeout,
+                limit=limit,
+            )
+            if outcome is None:
+                result = driver.evaluate(
+                    queries[plan.index], timeout=timeout, limit=limit
+                )
+            else:
+                result = QueryResult(
+                    driver.name, outcome.solutions, outcome.stats
+                )
+                result.phase_seconds["evaluate"] = outcome.stats.elapsed
+            results[plan.index] = result
+        for index, handle in pending:
+            results[index] = _result_from_outcome(handle.get())
+        return [result for result in results if result is not None]
+
+
+def _result_from_outcome(outcome: QueryOutcome) -> QueryResult:
+    """Rehydrate a worker's :class:`QueryOutcome` into a QueryResult."""
+    stats = EvaluationStats()
+    stats.solutions = outcome.solutions_found
+    stats.bindings = outcome.bindings
+    stats.attempts = outcome.attempts
+    stats.leap_calls = outcome.leap_calls
+    stats.timed_out = outcome.timed_out
+    stats.elapsed = outcome.elapsed
+    solutions = [
+        {Var(name): value for name, value in solution.items()}
+        for solution in outcome.solutions
+    ]
+    result = QueryResult(outcome.engine, solutions, stats)
+    return result

@@ -1,0 +1,228 @@
+"""Worker-side execution of domain shards and whole queries.
+
+Everything in this module runs inside :mod:`multiprocessing` pool
+workers (or inline in the parent, for pools of one). The pool
+initializer installs the read-only :class:`GraphDatabase` — shared by
+fork on platforms that support it, shipped once via the succinct
+structures' cache-dropping ``__getstate__`` otherwise — in a module
+global, so individual tasks reference the indexes by construction
+instead of serializing them per task.
+
+Task and outcome types are plain picklable dataclasses; solutions cross
+the process boundary as ``{variable name: constant}`` dictionaries and
+are rebound to :class:`~repro.query.model.Var` keys by the merging
+parent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.ltj.engine import LTJEngine
+from repro.obs.trace import (
+    QueryTrace,
+    attach_wavelets,
+    instrument_relations,
+    wavelet_targets,
+)
+from repro.parallel import forced
+from repro.query.model import ExtendedBGP, Var
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engines.database import GraphDatabase
+
+_WORKER_DB: "GraphDatabase | None" = None
+
+
+def _init_worker(db: "GraphDatabase") -> None:
+    """Pool initializer: install the shared database, detach recorders.
+
+    Under fork the child inherits whatever recorder state the parent
+    happened to have attached at pool-start time (op-counter hooks,
+    per-query memos mid-evaluation); those belong to the parent's
+    evaluation, so they are stripped before the worker serves tasks.
+    """
+    global _WORKER_DB
+    forced.mark_worker_process()
+    _reset_observability(db)
+    _WORKER_DB = db
+
+
+def _reset_observability(db: "GraphDatabase") -> None:
+    """Detach op counters / memos inherited through fork."""
+    trees = [db.ring.column(coord) for coord in "spo"]
+    for knn_ring in db.knn_rings.values():
+        trees.append(knn_ring.S)
+        trees.append(knn_ring.Sprime)
+    if db.distance_index is not None:
+        trees.append(db.distance_index.D)
+    for tree in trees:
+        tree.ops = None
+        tree._memo_users = 0
+        tree._memo_rank = None
+        tree._memo_next = None
+
+
+def _serial_engine(db: "GraphDatabase", name: str, exact_estimates: bool):
+    """Instantiate a serial engine by name (lazy import: this module is
+    reachable from ``repro.engines`` and must not import it eagerly)."""
+    from repro.engines.auto import AutoEngine
+    from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+
+    classes = {
+        RingKnnEngine.name: RingKnnEngine,
+        RingKnnSEngine.name: RingKnnSEngine,
+        AutoEngine.name: AutoEngine,
+    }
+    return classes[name](db, exact_estimates=exact_estimates)
+
+
+# ----------------------------------------------------------------------
+# intra-query sharding: one slice of the first variable's candidates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardTask:
+    """One contiguous slice of the first variable's candidate list."""
+
+    index: int
+    query: ExtendedBGP
+    engine: str
+    """Serial engine (``ring-knn`` / ``ring-knn-s``) whose compile order
+    and ordering strategy the shard replicates."""
+
+    exact_estimates: bool
+    variable: str
+    candidates: tuple[int, ...]
+    budget: float | None
+    """Remaining wall-clock seconds of the query's timeout, if any."""
+
+    limit: int | None
+    traced: bool
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard sends back to the merging parent."""
+
+    index: int
+    solutions: list[dict[str, int]]
+    solutions_found: int
+    bindings: int
+    attempts: int
+    leap_calls: int
+    timed_out: bool
+    elapsed: float
+    first_descent: tuple[str, ...]
+    trace: dict[str, Any] | None
+
+
+def run_shard(
+    task: ShardTask, db: "GraphDatabase | None" = None
+) -> ShardOutcome:
+    """Run the depth >= 1 search for one candidate shard.
+
+    ``db`` overrides the pool-global database for inline execution in
+    the parent process (pool size 1, or tests).
+    """
+    database = db if db is not None else _WORKER_DB
+    if database is None:
+        raise RuntimeError("worker pool used before initialization")
+    started = time.perf_counter()
+    driver = _serial_engine(database, task.engine, task.exact_estimates)
+    relations = driver.compile(task.query)
+    trace = QueryTrace(engine=task.engine) if task.traced else None
+    engine = LTJEngine(
+        relations,
+        ordering=driver._ordering(task.query),
+        timeout=task.budget,
+        limit=task.limit,
+        trace=trace,
+    )
+    variable = Var(task.variable)
+    if trace is not None:
+        instrument_relations(trace, relations)
+        pairs = wavelet_targets(trace, database, task.query)
+        with attach_wavelets(pairs):
+            with trace.phase("evaluate"):
+                solutions = list(engine.run_prebound(variable, task.candidates))
+    else:
+        solutions = list(engine.run_prebound(variable, task.candidates))
+    stats = engine.stats
+    return ShardOutcome(
+        index=task.index,
+        solutions=[
+            {v.name: c for v, c in solution.items()} for solution in solutions
+        ],
+        solutions_found=stats.solutions,
+        bindings=stats.bindings,
+        attempts=stats.attempts,
+        leap_calls=stats.leap_calls,
+        timed_out=stats.timed_out,
+        elapsed=time.perf_counter() - started,
+        first_descent=tuple(v.name for v in stats.first_descent_order),
+        trace=trace.to_dict() if trace is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# inter-query batching: one whole (small) query per task
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryTask:
+    """One whole query multiplexed through the pool by the scheduler."""
+
+    index: int
+    query: ExtendedBGP
+    engine: str
+    exact_estimates: bool
+    timeout: float | None
+    limit: int | None
+
+
+@dataclass
+class QueryOutcome:
+    """Result of one whole-query task."""
+
+    index: int
+    engine: str
+    solutions: list[dict[str, int]]
+    solutions_found: int
+    bindings: int
+    attempts: int
+    leap_calls: int
+    timed_out: bool
+    elapsed: float
+
+
+def run_query(
+    task: QueryTask, db: "GraphDatabase | None" = None
+) -> QueryOutcome:
+    """Evaluate one whole query serially inside a worker.
+
+    The LTJ engine opens and closes its own per-query wavelet memo per
+    evaluation, so multiplexed queries never share memo state.
+    """
+    database = db if db is not None else _WORKER_DB
+    if database is None:
+        raise RuntimeError("worker pool used before initialization")
+    driver = _serial_engine(database, task.engine, task.exact_estimates)
+    result = driver.evaluate(
+        task.query, timeout=task.timeout, limit=task.limit
+    )
+    stats = result.stats
+    return QueryOutcome(
+        index=task.index,
+        engine=result.engine,
+        solutions=[
+            {v.name: c for v, c in solution.items()}
+            for solution in result.solutions
+        ],
+        solutions_found=stats.solutions,
+        bindings=stats.bindings,
+        attempts=stats.attempts,
+        leap_calls=stats.leap_calls,
+        timed_out=stats.timed_out,
+        elapsed=stats.elapsed,
+    )

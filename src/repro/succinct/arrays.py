@@ -55,6 +55,22 @@ class CumulativeCounts:
         obj._sigma = int(counts.size)
         return obj
 
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle without the plain-int mirror (rebuilt lazily)."""
+        state = dict(self.__dict__)
+        state.pop("_cum_i", None)
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+
+    def __getattr__(self, name: str) -> list[int]:
+        if name == "_cum_i":
+            value: list[int] = self._cum.tolist()
+            self.__dict__[name] = value
+            return value
+        raise AttributeError(name)
+
     def __len__(self) -> int:
         return self._n
 

@@ -97,6 +97,34 @@ class WaveletTree:
         self._memo_next: dict[tuple[int, int, int], int | None] | None = None
 
     # ------------------------------------------------------------------
+    # pickling (worker-pool transport)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle the levels and the numpy count table only.
+
+        The plain-int count cache is rebuilt lazily after unpickling;
+        the op-counter hook and the per-query memo are evaluation-scoped
+        recorder state that must never travel to a worker process.
+        """
+        state = dict(self.__dict__)
+        state.pop("_counts_i", None)
+        state["ops"] = None
+        state["_memo_users"] = 0
+        state["_memo_rank"] = None
+        state["_memo_next"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+
+    def __getattr__(self, name: str) -> list[int]:
+        if name == "_counts_i":
+            value: list[int] = self._counts.tolist()
+            self.__dict__[name] = value
+            return value
+        raise AttributeError(name)
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:

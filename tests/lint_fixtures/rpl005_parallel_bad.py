@@ -1,0 +1,21 @@
+# reprolint-module: repro.parallel.fixture_sched
+"""RPL005 fixture: the engine contract applies to repro.parallel too."""
+
+
+class RogueShardEngine:
+    def __init__(self, db, workers):
+        self._db = db
+        self._workers = workers
+
+    def evaluate(self, query):
+        shards = self._db.shard(query, self._workers)
+        return [self._db.run(shard) for shard in shards]  # not a QueryResult
+
+
+class MergingEngine:
+    def __init__(self, inner):
+        self._inner = inner
+
+    def evaluate(self, query):
+        result = self._inner.evaluate(query)  # delegation is fine
+        return result

@@ -23,6 +23,7 @@ from repro.engines.baseline import BaselineEngine
 from repro.engines.classic import ClassicSixPermEngine
 from repro.engines.database import GraphDatabase
 from repro.engines.materialize import MaterializeEngine
+from repro.engines.parallel_knn import ParallelRingKnnEngine
 from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
 from repro.graph.naive import evaluate_naive
 from repro.graph.triples import GraphData
@@ -129,6 +130,13 @@ def _check_one(data) -> None:
     ):
         got = engine.evaluate(query).sorted_solutions()
         assert got == expected, (engine.name, query)
+
+    # Domain-sharded execution must not only agree with the oracle but
+    # reproduce the serial Ring-KNN solution *order* exactly.
+    serial = RingKnnEngine(db).evaluate(query)
+    parallel = ParallelRingKnnEngine(db, workers=2).evaluate(query)
+    assert parallel.sorted_solutions() == expected, ("parallel-knn", query)
+    assert parallel.solutions == serial.solutions, ("parallel-knn", query)
 
     # The baseline rejects clause graphs disconnected from the triples
     # (the paper's Sec. 5.3 restriction) — only compare when supported.

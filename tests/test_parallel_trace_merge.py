@@ -1,0 +1,81 @@
+"""Merged parallel traces are pool-size invariant and equal serial.
+
+The observability acceptance bar of the sharded executor: evaluating a
+query under ``parallel-knn`` with a trace must produce — after
+:func:`repro.obs.merge.merge_shard_traces` folds the worker documents
+into the parent recorder — the *same logical op counts* as the serial
+engine's trace, for every pool size. Wall-clock fields (``elapsed``,
+``phases``) and execution metadata (``meta``) are the only legitimate
+differences; everything else in the schema-validated document is
+compared key for key, on the golden Figure-2 workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import _build
+from repro.engines.parallel_knn import ParallelRingKnnEngine
+from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+from repro.obs import QueryTrace, validate_trace
+from tests.test_golden_opcounts import CONFIG
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Document keys that legitimately differ between serial and sharded
+#: runs: wall times, the phase breakdown, and execution metadata. The
+#: engine label differs by construction (ring-knn vs parallel-knn).
+_EXCLUDED = frozenset({"elapsed", "phases", "meta", "engine"})
+
+
+@pytest.fixture(scope="module")
+def figure2_workload():
+    db, workload = _build(CONFIG)
+    queries = [
+        query
+        for _family, family_queries in sorted(workload.items())
+        for query in family_queries
+    ]
+    return db, queries
+
+
+def _comparable(trace: QueryTrace) -> dict:
+    doc = trace.to_dict()
+    validate_trace(doc)
+    return {key: doc[key] for key in doc if key not in _EXCLUDED}
+
+
+@pytest.mark.parametrize("base_cls", [RingKnnEngine, RingKnnSEngine])
+def test_merged_trace_equals_serial_on_figure2(figure2_workload, base_cls):
+    db, queries = figure2_workload
+    serial = base_cls(db)
+    for query in queries:
+        serial_trace = QueryTrace()
+        expected = serial.evaluate(query, trace=serial_trace)
+        expected_doc = _comparable(serial_trace)
+        for workers in WORKER_COUNTS:
+            parallel = ParallelRingKnnEngine(
+                db, workers=workers, base=base_cls.name
+            )
+            trace = QueryTrace()
+            got = parallel.evaluate(query, trace=trace)
+            assert got.solutions == expected.solutions, (workers, query)
+            assert _comparable(trace) == expected_doc, (workers, query)
+
+
+def test_merged_trace_carries_shard_metadata(figure2_workload):
+    db, queries = figure2_workload
+    parallel = ParallelRingKnnEngine(db, workers=2)
+    trace = QueryTrace()
+    parallel.evaluate(queries[0], trace=trace)
+    assert trace.engine == "parallel-knn"
+    meta = trace.meta["parallel"]
+    assert meta["workers"] == 2
+    assert meta["mode"] in ("fork", "spawn")
+    shards = meta["shards"]
+    assert shards, "sharded run must report per-shard timings"
+    assert sum(s["candidates"] for s in shards) == meta["candidates"]
+    for shard in shards:
+        assert shard["elapsed_s"] >= 0.0
+    # Per-shard evaluate phases are folded in under a shard: prefix.
+    assert any(name.startswith("shard:") for name in trace.phases)

@@ -1,0 +1,143 @@
+"""Pickle round-trips of the succinct structures.
+
+The parallel executor ships a :class:`GraphDatabase` to pool workers on
+platforms without ``fork`` (and the pool machinery may pickle it even
+under fork, e.g. for ``spawn`` fallbacks), so every succinct structure
+must round-trip through pickle — *without* hauling its plain-int hot-path
+caches (``_words_i``, ``_cum_i``, ...) along: those are redundant
+``.tolist()`` mirrors of numpy arrays whose boxed ints dominate the
+payload. They are dropped by ``__getstate__`` and rebuilt lazily on
+first use after unpickling.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engines.database import GraphDatabase
+from repro.engines.ring_knn import RingKnnEngine
+from repro.graph.triples import GraphData
+from repro.knn.builders import build_knn_graph_bruteforce
+from repro.knn.distance_index import DistanceRangeIndex
+from repro.knn.succinct import KnnRing
+from repro.query.model import ExtendedBGP, SimClause, TriplePattern, Var
+from repro.succinct.arrays import CumulativeCounts
+from repro.succinct.bitvector import BitVector
+from repro.succinct.wavelet_tree import WaveletTree
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(11)
+
+
+def test_bitvector_roundtrip(rng):
+    bv = BitVector(rng.integers(0, 2, 2_000))
+    payload = pickle.dumps(bv)
+    # The plain-int mirrors must not be serialized.
+    assert b"_words_i" not in payload
+    assert b"_cum1_i" not in payload
+    assert b"_cum0_i" not in payload
+    copy = pickle.loads(payload)
+    assert len(copy) == len(bv)
+    assert copy.n_ones == bv.n_ones
+    for i in range(0, len(bv), 97):
+        assert copy.access(i) == bv.access(i)
+        assert copy.rank1(i) == bv.rank1(i)
+    for j in range(1, bv.n_ones + 1, 53):
+        assert copy.select1(j) == bv.select1(j)
+    # The caches rebuild lazily and identically.
+    assert copy._words_i == bv._words_i
+    assert copy._cum1_i == bv._cum1_i
+
+
+def test_wavelet_tree_roundtrip(rng):
+    values = rng.integers(0, 50, 1_500)
+    wt = WaveletTree(values, 50)
+    wt.ops = object()  # a recorder must never travel across processes
+    payload = pickle.dumps(wt)
+    assert b"_counts_i" not in payload
+    copy = pickle.loads(payload)
+    assert copy.ops is None
+    assert copy._memo_users == 0
+    assert copy._memo_rank is None
+    assert copy._memo_next is None
+    wt.ops = None
+    assert len(copy) == len(wt)
+    for c in range(0, 50, 7):
+        assert copy.total_count(c) == wt.total_count(c)
+        for i in range(0, len(wt), 211):
+            assert copy.rank(c, i) == wt.rank(c, i)
+    for i in range(0, len(wt), 131):
+        assert copy.access(i) == wt.access(i)
+    assert copy._counts_i == wt._counts_i
+
+
+def test_cumulative_counts_roundtrip(rng):
+    counts = CumulativeCounts(rng.integers(0, 30, 500), 30)
+    payload = pickle.dumps(counts)
+    assert b"_cum_i" not in payload
+    copy = pickle.loads(payload)
+    assert len(copy) == len(counts)
+    assert copy.alphabet_size == counts.alphabet_size
+    assert copy._cum_i == counts._cum_i
+
+
+def _knn_fixture(rng):
+    points = rng.normal(size=(12, 2))
+    return points, build_knn_graph_bruteforce(points, K=3)
+
+
+def test_knn_ring_roundtrip(rng):
+    _points, graph = _knn_fixture(rng)
+    ring = KnnRing(graph)
+    payload = pickle.dumps(ring)
+    assert b"_members_i" not in payload
+    assert b"_s_offsets_i" not in payload
+    copy = pickle.loads(payload)
+    assert copy.K == ring.K
+    assert copy.num_members == ring.num_members
+    assert not copy.members.flags.writeable
+    assert copy._members_i == ring._members_i
+    assert copy._s_offsets_i == ring._s_offsets_i
+    for node in copy._members_i:
+        for k in (1, ring.K):
+            assert copy.forward_range(node, k) == ring.forward_range(node, k)
+
+
+def test_distance_index_roundtrip(rng):
+    points, _graph = _knn_fixture(rng)
+    index = DistanceRangeIndex(points, d_max=1.5)
+    payload = pickle.dumps(index)
+    assert b"_members_i" not in payload
+    copy = pickle.loads(payload)
+    assert copy.d_max == index.d_max
+    assert not copy.members.flags.writeable
+    assert copy._members_i == index._members_i
+    for u in copy._members_i[:6]:
+        assert copy.neighbors_within(u, 0.9) == index.neighbors_within(u, 0.9)
+
+
+def test_graph_database_roundtrip_query_equality(rng):
+    triples = [
+        (int(rng.integers(0, 12)), 50, int(rng.integers(0, 12)))
+        for _ in range(40)
+    ]
+    points, graph = _knn_fixture(rng)
+    db = GraphDatabase(
+        GraphData(triples), graph,
+        distance_index=DistanceRangeIndex(points, d_max=1.5),
+    )
+    copy = pickle.loads(pickle.dumps(db))
+    x, y, z = Var("x"), Var("y"), Var("z")
+    query = ExtendedBGP(
+        [TriplePattern(x, 50, y)], clauses=[SimClause(y, 2, z)]
+    )
+    original = RingKnnEngine(db).evaluate(query)
+    rehydrated = RingKnnEngine(copy).evaluate(query)
+    assert rehydrated.solutions == original.solutions
+    assert rehydrated.stats.leap_calls == original.stats.leap_calls
+    assert rehydrated.stats.bindings == original.stats.bindings

@@ -122,6 +122,14 @@ class TestRPL005EngineContract:
         assert len(result.findings) == 1
         assert "RogueEngine" in result.findings[0].message
 
+    def test_parallel_package_is_in_engine_scope(self):
+        from repro.analysis.config import ENGINE_MODULE_PREFIXES, in_scope
+
+        assert in_scope("repro.parallel.executor", ENGINE_MODULE_PREFIXES)
+        result = lint_fixture("rpl005_parallel_bad.py", ["RPL005"])
+        assert len(result.findings) == 1
+        assert "RogueShardEngine" in result.findings[0].message
+
 
 class TestRPL006StrictTyping:
     def test_flags_unannotated_defs(self):

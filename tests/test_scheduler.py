@@ -1,0 +1,97 @@
+"""The batched query scheduler returns serial-identical results.
+
+``QueryScheduler.run_batch`` must hand back, in input order, exactly
+the :class:`QueryResult` solutions the serial ``auto`` engine produces
+for each query — whether a query was domain-sharded, multiplexed whole
+into a pool worker, or evaluated serially.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines.auto import AutoEngine
+from repro.parallel.scheduler import QueryScheduler
+from repro.query.model import ExtendedBGP, SimClause, TriplePattern, Var
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+BATCH = [
+    ExtendedBGP([TriplePattern(X, 20, Y)]),
+    ExtendedBGP([TriplePattern(X, 20, Y), TriplePattern(Y, 21, Z)]),
+    ExtendedBGP([TriplePattern(X, 20, Y)], clauses=[SimClause(X, 3, Y)]),
+    ExtendedBGP([TriplePattern(3, 20, Y)]),
+    ExtendedBGP(
+        [TriplePattern(X, 20, Y), TriplePattern(Y, 21, Z)],
+        clauses=[SimClause(X, 2, Z)],
+    ),
+    ExtendedBGP([TriplePattern(X, 22, X)]),
+]
+
+
+@pytest.fixture(scope="module")
+def expected(small_db):
+    auto = AutoEngine(small_db)
+    return [auto.evaluate(query) for query in BATCH]
+
+
+def test_classify_routes_by_estimate(small_db):
+    scheduler = QueryScheduler(small_db, workers=2, parallel_threshold=10)
+    plans = [scheduler.classify(q, i) for i, q in enumerate(BATCH)]
+    assert [plan.index for plan in plans] == list(range(len(BATCH)))
+    routes = {plan.route for plan in plans}
+    assert routes <= {"parallel", "pooled"}
+    # The open two-variable scan is big on this graph, the
+    # constant-subject probe is small: both routes must be exercised.
+    assert plans[0].route == "parallel"
+    assert plans[3].route == "pooled"
+    for plan in plans:
+        assert plan.engine in ("ring-knn", "ring-knn-s")
+        assert plan.reason
+
+
+def test_classify_serial_with_one_worker(small_db):
+    scheduler = QueryScheduler(small_db, workers=1)
+    assert scheduler.classify(BATCH[0]).route == "serial"
+
+
+@pytest.mark.parametrize("threshold", [1, 10, 10_000])
+def test_run_batch_matches_serial(small_db, expected, threshold):
+    # Across thresholds every query flips between the parallel and
+    # pooled routes; results must be identical either way.
+    scheduler = QueryScheduler(
+        small_db, workers=2, parallel_threshold=threshold
+    )
+    results = scheduler.run_batch(BATCH)
+    assert len(results) == len(BATCH)
+    for got, want in zip(results, expected):
+        assert got.solutions == want.solutions
+
+
+def test_run_batch_serial_pool_of_one(small_db, expected):
+    results = QueryScheduler(small_db, workers=1).run_batch(BATCH)
+    for got, want in zip(results, expected):
+        assert got.solutions == want.solutions
+        assert got.engine == want.engine
+
+
+def test_run_batch_bounded_pending_window(small_db, expected):
+    # A pending window smaller than the batch forces mid-batch drains.
+    scheduler = QueryScheduler(
+        small_db, workers=2, parallel_threshold=10_000, max_pending=2
+    )
+    big_batch = BATCH * 3
+    results = scheduler.run_batch(big_batch)
+    assert len(results) == len(big_batch)
+    for got, want in zip(results, expected * 3):
+        assert got.solutions == want.solutions
+
+
+def test_run_batch_respects_limit(small_db):
+    auto = AutoEngine(small_db)
+    scheduler = QueryScheduler(small_db, workers=2, parallel_threshold=10)
+    results = scheduler.run_batch(BATCH, limit=3)
+    for got, query in zip(results, BATCH):
+        want = auto.evaluate(query, limit=3)
+        assert got.solutions == want.solutions
+        assert len(got.solutions) <= 3
