@@ -1,17 +1,24 @@
-"""Scaling benchmark of the domain-sharded parallel-knn engine.
+"""Scaling benchmark of batch serving over the shared-memory pool.
 
-One pytest-benchmark entry per pool size (1, 2, 4) runs the full
-benchmark workload under :class:`ParallelRingKnnEngine`, plus a serial
-Ring-KNN reference entry. Each entry's ``extra_info`` records total
-time, solutions (asserted identical to serial — sharding must never
-change results) and the speedup over the serial reference, and the
-curve is written to ``benchmarks/results/parallel_scaling.txt``.
+One pytest-benchmark entry per pool size (1, 2, 4) serves the full
+benchmark workload through :class:`QueryScheduler` over a warm
+worker pool, plus a serial ``auto``-loop reference entry. Pool
+warm-up — forking the workers and flattening the succinct indexes into
+shared-memory segments — is measured separately from the steady-state
+batch time, because a server pays it once per database, not per batch.
+Each entry's ``extra_info`` records warm-up, steady-state total,
+solutions (asserted identical to serial — the shm transport must never
+change results) and the steady-state speedup over the serial
+reference, and the curve is written to
+``benchmarks/results/parallel_scaling.txt``.
 
-Expected shape: pool size 1 (inline sharding) tracks serial closely —
-the shard machinery itself is cheap; real pools amortize their dispatch
-overhead only once per-shard work dominates, so at this laptop scale
-the multi-worker speedup is modest and the point of the curve is to
-catch *regressions* in sharding overhead, not to demonstrate big wins.
+Wall-clock speedup is capped by the usable core count, so the
+acceptance assertions are hardware-gated: with >= 4 usable cores the
+workers=4 entry must clear a 2x steady-state speedup; on fewer cores
+(where workers merely time-slice the CPU and any "speedup" is
+physically impossible) the entries must instead stay within a bounded
+overhead of the serial loop — proving the transport itself costs
+almost nothing even when parallelism cannot pay.
 """
 
 from __future__ import annotations
@@ -21,10 +28,14 @@ import time
 import pytest
 
 from benchmarks.conftest import QUERY_TIMEOUT, write_results
-from repro.engines.parallel_knn import ParallelRingKnnEngine
-from repro.engines.ring_knn import RingKnnEngine
+from repro.bench.harness import usable_cores
+from repro.parallel.scheduler import QueryScheduler
 
 WORKER_COUNTS = (1, 2, 4)
+
+#: Ceiling on steady-state time relative to serial when too few cores
+#: exist for real parallelism (covers per-worker cold caches + IPC).
+MAX_SINGLE_CORE_OVERHEAD = 1.6
 
 _collected: dict[str, dict] = {}
 
@@ -37,24 +48,48 @@ def _flat_queries(workload):
     ]
 
 
-def _run_workload(engine, queries):
-    total = 0.0
-    solutions = 0
-    timeouts = 0
-    for query in queries:
+def _serve_batch(database, queries, workers):
+    scheduler = QueryScheduler(database, workers=workers)
+    try:
         started = time.perf_counter()
-        result = engine.evaluate(query, timeout=QUERY_TIMEOUT)
-        total += time.perf_counter() - started
-        solutions += len(result.solutions)
-        timeouts += int(result.timed_out)
-    return {"total_s": total, "solutions": solutions, "timeouts": timeouts}
+        scheduler.warmup()
+        warmup_s = time.perf_counter() - started
+        started = time.perf_counter()
+        results = scheduler.run_batch(queries, timeout=QUERY_TIMEOUT)
+        steady_s = time.perf_counter() - started
+    finally:
+        scheduler.close()
+    return {
+        "cpu_cores": usable_cores(),
+        "warmup_s": warmup_s,
+        "total_s": steady_s,
+        "solutions": sum(len(r.solutions) for r in results),
+        "timeouts": sum(int(r.timed_out) for r in results),
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_database(database, workload):
+    # One untimed serial pass so the parent-side wavelet memos are warm
+    # before any measured entry; otherwise whichever entry runs first
+    # pays a one-time cache fill the others do not.
+    _serve_batch(database, _flat_queries(workload), workers=1)
+
+
+def _serial_reference(database, workload):
+    entry = _collected.get("serial")
+    if entry is None:
+        entry = _serve_batch(database, _flat_queries(workload), workers=1)
+        _collected["serial"] = entry
+    return entry
 
 
 def test_parallel_serial_reference(benchmark, database, workload):
     queries = _flat_queries(workload)
-    engine = RingKnnEngine(database)
     entry = benchmark.pedantic(
-        lambda: _run_workload(engine, queries), rounds=1, iterations=1
+        lambda: _serve_batch(database, queries, workers=1),
+        rounds=1,
+        iterations=1,
     )
     benchmark.extra_info.update(entry)
     _collected["serial"] = entry
@@ -63,17 +98,15 @@ def test_parallel_serial_reference(benchmark, database, workload):
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
 def test_parallel_scaling(benchmark, database, workload, workers):
     queries = _flat_queries(workload)
-    engine = ParallelRingKnnEngine(database, workers=workers)
     entry = benchmark.pedantic(
-        lambda: _run_workload(engine, queries), rounds=1, iterations=1
+        lambda: _serve_batch(database, queries, workers=workers),
+        rounds=1,
+        iterations=1,
     )
-    serial = _collected.get("serial")
-    if serial is None:
-        serial = _run_workload(RingKnnEngine(database), queries)
-        _collected["serial"] = serial
+    serial = _serial_reference(database, workload)
     if not entry["timeouts"] and not serial["timeouts"]:
         assert entry["solutions"] == serial["solutions"], (
-            "sharded execution changed the solution count"
+            "shared-memory batch serving changed the solution count"
         )
     entry["speedup_vs_serial"] = (
         serial["total_s"] / entry["total_s"] if entry["total_s"] > 0 else 0.0
@@ -81,23 +114,37 @@ def test_parallel_scaling(benchmark, database, workload, workers):
     benchmark.extra_info.update(entry)
     _collected[f"workers={workers}"] = entry
 
+    cores = usable_cores()
+    if workers >= 4 and cores >= 4:
+        assert entry["speedup_vs_serial"] >= 2.0, (
+            f"workers={workers} on {cores} cores reached only "
+            f"{entry['speedup_vs_serial']:.2f}x steady-state speedup"
+        )
+    elif workers >= 2 and cores < workers:
+        assert entry["total_s"] <= serial["total_s"] * MAX_SINGLE_CORE_OVERHEAD, (
+            f"workers={workers} time-slicing {cores} core(s) cost "
+            f"{entry['total_s']:.3f}s vs serial {serial['total_s']:.3f}s — "
+            "transport overhead above the bounded-overhead ceiling"
+        )
+
 
 def test_parallel_scaling_report(database, workload):
-    lines = ["parallel-knn scaling over the benchmark workload"]
-    serial = _collected.get("serial")
-    if serial is None:
-        serial = _run_workload(RingKnnEngine(database), _flat_queries(workload))
-    lines.append(
-        f"  serial ring-knn: {serial['total_s']:.3f}s "
-        f"({serial['solutions']} solutions)"
-    )
+    serial = _serial_reference(database, workload)
+    lines = [
+        "batch serving over the shared-memory worker pool "
+        f"(steady state; warm-up reported separately; "
+        f"{usable_cores()} usable core(s))",
+        f"  serial auto loop: {serial['total_s']:.3f}s "
+        f"({serial['solutions']} solutions)",
+    ]
     for workers in WORKER_COUNTS:
         entry = _collected.get(f"workers={workers}")
         if entry is None:
             continue
         lines.append(
-            f"  workers={workers}: {entry['total_s']:.3f}s "
+            f"  workers={workers}: steady {entry['total_s']:.3f}s "
             f"(speedup {entry['speedup_vs_serial']:.2f}x, "
+            f"warmup {entry['warmup_s']:.3f}s, "
             f"{entry['solutions']} solutions)"
         )
     text = "\n".join(lines)

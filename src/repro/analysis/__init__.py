@@ -7,7 +7,7 @@ be bumped before memo lookups so traced op counts stay deterministic,
 observability must be zero-overhead when disabled, the traced pass must
 be bit-for-bit reproducible, and every engine must honour the relation
 and result contracts. ``repro.analysis`` turns those conventions into
-machine-checked rules (RPL001-RPL006) run as ``repro lint`` and as a CI
+machine-checked rules (RPL001-RPL007) run as ``repro lint`` and as a CI
 gate — see ``docs/static-analysis.md`` for the rule catalogue and the
 invariant each protects.
 

@@ -123,6 +123,35 @@ ENGINE_MODULE_PREFIXES: tuple[str, ...] = (
 )
 
 # ----------------------------------------------------------------------
+# RPL007 — shm-only index transport in the parallel package.
+#
+# PR-6 replaced pickle-the-index dispatch with the shared-memory
+# flatten/attach registry (``repro.parallel.shm``); the 0.66-0.84x
+# scaling of the pickling transport must not creep back. Inside
+# ``repro.parallel``, serializing an index — importing pickle-family
+# modules, calling their dump/load entry points, or (re)defining the
+# ``__getstate__``-family dunders — is banned; the shm registry is the
+# only sanctioned path for index bytes.
+# ----------------------------------------------------------------------
+PARALLEL_TRANSPORT_PREFIXES: tuple[str, ...] = ("repro.parallel",)
+
+#: The shm registry module itself is the sanctioned transport.
+PARALLEL_TRANSPORT_EXEMPT_MODULES: frozenset[str] = frozenset(
+    {"repro.parallel.shm"}
+)
+
+#: Pickle-family modules whose import (or use) marks a serialization
+#: transport.
+PICKLE_MODULES: frozenset[str] = frozenset(
+    {"pickle", "cPickle", "dill", "cloudpickle", "marshal"}
+)
+
+#: State dunders that re-introduce object-graph serialization hooks.
+STATE_DUNDERS: frozenset[str] = frozenset(
+    {"__getstate__", "__setstate__", "__reduce__", "__reduce_ex__"}
+)
+
+# ----------------------------------------------------------------------
 # RPL006 — strict-typing gate (in-repo approximation of the CI
 # ``mypy --strict`` job: every def fully annotated).
 # ----------------------------------------------------------------------

@@ -13,6 +13,7 @@ from repro.analysis.rules.rpl003_obs_guard import ObsGuard
 from repro.analysis.rules.rpl004_determinism import Determinism
 from repro.analysis.rules.rpl005_engine_contract import EngineContract
 from repro.analysis.rules.rpl006_typing import StrictTyping
+from repro.analysis.rules.rpl007_transport import ShmOnlyTransport
 
 ALL_RULES: tuple[Rule, ...] = (
     HotPathPurity(),
@@ -21,6 +22,7 @@ ALL_RULES: tuple[Rule, ...] = (
     Determinism(),
     EngineContract(),
     StrictTyping(),
+    ShmOnlyTransport(),
 )
 
 _BY_CODE = {rule.code: rule for rule in ALL_RULES}

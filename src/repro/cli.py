@@ -158,13 +158,18 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         parallel_threshold=args.parallel_threshold,
     )
-    plans = [
-        scheduler.classify(query, index)
-        for index, query in enumerate(queries)
-    ]
-    results = scheduler.run_batch(
-        queries, timeout=args.timeout, limit=args.limit
-    )
+    try:
+        plans = [
+            scheduler.classify(query, index)
+            for index, query in enumerate(queries)
+        ]
+        results = scheduler.run_batch(
+            queries, timeout=args.timeout, limit=args.limit
+        )
+    finally:
+        # Always unlink the shared-memory segments the pool published,
+        # even when a worker raised mid-batch.
+        scheduler.close()
     for text, plan, result in zip(texts, plans, results):
         flag = " (TIMED OUT)" if result.timed_out else ""
         print(
@@ -555,7 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the reprolint invariant checks (RPL001-RPL006)",
+        help="run the reprolint invariant checks (RPL001-RPL007)",
     )
     p.add_argument(
         "paths",

@@ -63,6 +63,13 @@ class AutoEngine:
             self._parallel[base] = engine
         return engine
 
+    def close(self) -> None:
+        """Release any worker pools (and shm segments) for this
+        database. No-op when nothing parallel ever ran."""
+        from repro.parallel.executor import close_pools_for
+
+        close_pools_for(self._db)
+
     def select(self, query: ExtendedBGP) -> str:
         """Return the chosen engine name for ``query``."""
         n_constraints = len(query.clauses) + len(query.dist_clauses)

@@ -53,6 +53,14 @@ class ParallelRingKnnEngine:
         """Name of the serial engine providing compile order/ordering."""
         return self._base.name
 
+    def close(self) -> None:
+        """Release the worker pools (and their shared-memory segments)
+        bound to this engine's database. Safe to call repeatedly; the
+        next evaluation transparently starts a fresh pool."""
+        from repro.parallel.executor import close_pools_for
+
+        close_pools_for(self._db)
+
     def compile(self, query: ExtendedBGP) -> list[object]:
         """Compile exactly as the serial base engine does."""
         return self._base.compile(query)

@@ -10,8 +10,10 @@ Submodules:
   batch via the ``auto`` engine's estimates and multiplex it over the
   same pool.
 * :mod:`repro.parallel.worker` — the code that runs inside pool workers.
-* :mod:`repro.parallel.forced` — the ``REPRO_PARALLEL_WORKERS`` CI
-  smoke hook.
+* :mod:`repro.parallel.shm` — shared-memory flatten/attach transport for
+  the succinct indexes (workers rebuild them zero-copy, no pickling).
+* :mod:`repro.parallel.forced` — the ``REPRO_PARALLEL_WORKERS`` /
+  ``REPRO_PARALLEL_START_METHOD`` CI smoke hooks.
 
 This package initializer is deliberately import-light: the serial
 engines consult :mod:`repro.parallel.forced` at import time, while the
@@ -28,19 +30,32 @@ _EXPORTS = {
     "ParallelOutcome": "repro.parallel.executor",
     "SHARDS_PER_WORKER": "repro.parallel.executor",
     "WorkerPool": "repro.parallel.executor",
+    "close_pools_for": "repro.parallel.executor",
     "evaluate_parallel": "repro.parallel.executor",
     "pool_for": "repro.parallel.executor",
     "shutdown_pools": "repro.parallel.executor",
     "DEFAULT_PARALLEL_THRESHOLD": "repro.parallel.scheduler",
+    "MAX_BATCH_SIZE": "repro.parallel.scheduler",
     "QueryScheduler": "repro.parallel.scheduler",
     "ScheduledQuery": "repro.parallel.scheduler",
+    "QueryBatchTask": "repro.parallel.worker",
     "QueryOutcome": "repro.parallel.worker",
     "QueryTask": "repro.parallel.worker",
     "ShardOutcome": "repro.parallel.worker",
     "ShardTask": "repro.parallel.worker",
     "run_query": "repro.parallel.worker",
+    "run_query_batch": "repro.parallel.worker",
     "run_shard": "repro.parallel.worker",
+    "unpack_solutions": "repro.parallel.worker",
+    "AttachedShm": "repro.parallel.shm",
+    "ScratchBuffer": "repro.parallel.shm",
+    "ShmManifest": "repro.parallel.shm",
+    "StructureShm": "repro.parallel.shm",
+    "active_segments": "repro.parallel.shm",
+    "attach": "repro.parallel.shm",
+    "ENV_START_METHOD": "repro.parallel.forced",
     "ENV_WORKERS": "repro.parallel.forced",
+    "forced_start_method": "repro.parallel.forced",
     "forced_workers": "repro.parallel.forced",
 }
 

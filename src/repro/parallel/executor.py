@@ -12,11 +12,19 @@ solution list byte for byte, and summing shard counters with the
 parent's reproduces the serial stats and trace op counts for any pool
 size (see :mod:`repro.obs.merge` for the invariance argument).
 
+Transport is zero-copy (:mod:`repro.parallel.shm`): when a pool starts,
+the database's succinct structures are flattened once into a shared
+segment that workers attach; tasks carry ``(segment, start, stop)``
+candidate spans through a reusable scratch segment; results come back
+as packed int64 matrices, streamed in fixed-size chunks through a
+queue when large. Nothing per-dispatch scales with the index size.
+
 Pools are cached per (database, pool size): the cache holds a strong
 reference to the database (so the id-based key can never alias a
-collected object) and workers inherit the indexes by fork where
-available, falling back to pickling through the succinct structures'
-cache-dropping ``__getstate__``.
+collected object) and each pool owns its shared segments, unlinking
+them on ``close`` — including the error path where a worker raised
+mid-shard (the pool survives a task exception; the segments are only
+torn down with the pool itself).
 
 Known, documented divergences from the serial engine:
 
@@ -34,11 +42,14 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import queue as queue_mod
 import time
 from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
 
 from repro.ltj.engine import LTJEngine
 from repro.ltj.stats import EvaluationStats
@@ -48,13 +59,17 @@ from repro.obs.trace import (
     instrument_relations,
     wavelet_targets,
 )
+from repro.parallel import forced
+from repro.parallel.shm import ScratchBuffer, StructureShm
 from repro.parallel.worker import (
-    QueryTask,
+    QueryBatchTask,
+    QueryOutcome,
     ShardOutcome,
     ShardTask,
     _init_worker,
-    run_query,
+    run_query_batch,
     run_shard,
+    unpack_solutions,
 )
 from repro.query.model import ExtendedBGP, Var
 
@@ -68,56 +83,170 @@ DEFAULT_WORKERS = 2
 #: load balancing; any split yields the same merged results/counters.
 SHARDS_PER_WORKER = 2
 
+#: Seconds to wait for an announced-but-missing streamed chunk before
+#: declaring the pool wedged. Generous: chunks are announced only after
+#: they were put on the queue, so this only fires on a dead worker.
+CHUNK_TIMEOUT = 120.0
+
 
 # ----------------------------------------------------------------------
 # pool lifecycle
 # ----------------------------------------------------------------------
 class WorkerPool:
-    """A lazily started multiprocessing pool bound to one database."""
+    """A lazily started multiprocessing pool bound to one database.
+
+    Starting the pool flattens the database into a shared-memory
+    segment (:class:`StructureShm`); workers attach it in their
+    initializer, so the per-dispatch payload is a descriptor, never an
+    index. The pool also owns the scratch segment candidate spans are
+    published through and the queue large results stream back on — all
+    three are torn down together in :meth:`close`.
+    """
 
     def __init__(self, db: "GraphDatabase", workers: int) -> None:
         self._db = db  # strong ref: pins id(db) while the pool is cached
         self.workers = max(2, int(workers))
         self.start_method = "unstarted"
         self._pool: Any = None
+        self._shm: StructureShm | None = None
+        self._scratch: ScratchBuffer | None = None
+        self._chunks: Any = None
+        self._chunk_buf: dict[int, dict[int, np.ndarray]] = {}
+        self._uid = 0
+
+    def next_uid(self) -> int:
+        """Pool-unique task id (correlates streamed chunks to tasks)."""
+        self._uid += 1
+        return self._uid
 
     def _start(self) -> Any:
         if self._pool is None:
-            try:
-                ctx = multiprocessing.get_context("fork")
-                self.start_method = "fork"
-            except ValueError:  # pragma: no cover - non-fork platforms
-                ctx = multiprocessing.get_context("spawn")
-                self.start_method = "spawn"
+            method = forced.forced_start_method()
+            if method is None:
+                try:
+                    multiprocessing.get_context("fork")
+                    method = "fork"
+                except ValueError:  # pragma: no cover - non-fork platforms
+                    method = "spawn"
+            ctx = multiprocessing.get_context(method)
+            self.start_method = method
+            self._shm = StructureShm.create(self._db)
+            self._scratch = ScratchBuffer()
+            self._chunks = ctx.Queue()
             self._pool = ctx.Pool(
                 self.workers,
                 initializer=_init_worker,
-                initargs=(self._db,),
+                initargs=(self._shm.manifest, self._chunks),
             )
         return self._pool
+
+    def warmup(self) -> None:
+        """Start the pool and wait until every worker has attached."""
+        pool = self._start()
+        # A no-op barrier: one trivial task per worker forces all the
+        # initializers (segment attach included) to finish.
+        pool.map(_noop, range(self.workers), chunksize=1)
+
+    def publish_candidates(self, candidates: Sequence[int]) -> str:
+        """Publish a candidate list to the scratch segment; returns the
+        segment name tasks should carry in their spans."""
+        self._start()
+        assert self._scratch is not None
+        name, _n = self._scratch.publish(candidates)
+        return name
 
     def map_shards(self, tasks: Sequence[ShardTask]) -> list[ShardOutcome]:
         """Run shard tasks, returning outcomes in task (shard) order."""
         pool = self._start()
-        return list(pool.map(run_shard, tasks, chunksize=1))
+        try:
+            outcomes = list(pool.map(run_shard, tasks, chunksize=1))
+        except Exception:
+            self._drop_pending_chunks()
+            raise
+        self.reconcile(outcomes)
+        return outcomes
 
-    def submit_query(self, task: QueryTask) -> Any:
-        """Submit one whole-query task; returns an ``AsyncResult``."""
+    def submit_batch(self, batch: QueryBatchTask) -> Any:
+        """Submit one whole-query batch; returns an ``AsyncResult``
+        whose ``get()`` yields ``list[QueryOutcome]``."""
         pool = self._start()
-        return pool.apply_async(run_query, (task,))
+        return pool.apply_async(run_query_batch, (batch,))
+
+    def reconcile(
+        self, outcomes: Sequence[ShardOutcome | QueryOutcome]
+    ) -> None:
+        """Fill in ``packed`` for outcomes whose solutions streamed back
+        through the chunk queue rather than the result pipe."""
+        needed = {
+            outcome.uid: outcome
+            for outcome in outcomes
+            if outcome.packed is None and outcome.n_chunks > 0
+        }
+        while needed:
+            done = [
+                uid
+                for uid, outcome in needed.items()
+                if len(self._chunk_buf.get(uid, {})) == outcome.n_chunks
+            ]
+            for uid in done:
+                outcome = needed.pop(uid)
+                parts = self._chunk_buf.pop(uid)
+                outcome.packed = np.concatenate(
+                    [parts[seq] for seq in range(outcome.n_chunks)]
+                )
+            if not needed:
+                break
+            try:
+                uid, seq, chunk = self._chunks.get(timeout=CHUNK_TIMEOUT)
+            except queue_mod.Empty:  # pragma: no cover - dead worker
+                raise RuntimeError(
+                    "worker pool stopped streaming announced chunks"
+                ) from None
+            self._chunk_buf.setdefault(uid, {})[seq] = chunk
+
+    def _drop_pending_chunks(self) -> None:
+        """Best-effort drain after a task exception, so chunks from
+        sibling shards of the failed dispatch cannot satisfy a later
+        reconcile by uid collision (uids are unique, so dropping is
+        purely hygiene — it bounds the buffer)."""
+        self._chunk_buf.clear()
+        if self._chunks is None:
+            return
+        while True:
+            try:
+                self._chunks.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                break
 
     def close(self) -> None:
+        """Tear down the pool and unlink every owned shared segment."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        if self._chunks is not None:
+            self._chunks.close()
+            self._chunks = None
+        self._chunk_buf.clear()
+        if self._scratch is not None:
+            self._scratch.close()
+            self._scratch = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+        self.start_method = "unstarted"
+
+
+def _noop(_: int) -> None:
+    """Warmup barrier task (must be a module-level picklable)."""
+    return None
 
 
 _POOLS: "OrderedDict[tuple[int, int], WorkerPool]" = OrderedDict()
 
 #: Cached pools (each holds ``workers`` processes). Small LRU so runs
 #: that churn through many databases (forced-mode test suites) do not
-#: accumulate processes.
+#: accumulate processes or shared segments.
 _MAX_POOLS = 4
 
 
@@ -134,6 +263,12 @@ def pool_for(db: "GraphDatabase", workers: int) -> WorkerPool:
     else:
         _POOLS.move_to_end(key)
     return pool
+
+
+def close_pools_for(db: "GraphDatabase") -> None:
+    """Close (and unlink the segments of) every pool bound to ``db``."""
+    for key in [k for k in _POOLS if k[0] == id(db)]:
+        _POOLS.pop(key).close()
 
 
 def shutdown_pools() -> None:
@@ -159,18 +294,16 @@ class ParallelOutcome:
     """Execution shape: workers, start method, per-shard breakdown."""
 
 
-def _split(
-    candidates: tuple[int, ...], n_shards: int
-) -> list[tuple[int, ...]]:
-    """Contiguous near-equal slices preserving candidate order."""
-    base, extra = divmod(len(candidates), n_shards)
-    shards: list[tuple[int, ...]] = []
+def _bounds(n: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal ``(start, stop)`` slices of ``range(n)``."""
+    base, extra = divmod(n, n_shards)
+    bounds: list[tuple[int, int]] = []
     start = 0
     for i in range(n_shards):
         size = base + (1 if i < extra else 0)
-        shards.append(candidates[start : start + size])
+        bounds.append((start, start + size))
         start += size
-    return shards
+    return bounds
 
 
 def _finalize(
@@ -250,7 +383,7 @@ def evaluate_parallel(
         plan = engine.first_level()
     parent = engine.stats
 
-    shard_lists: list[tuple[int, ...]] = []
+    bounds: list[tuple[int, int]] = []
     outcomes: list[ShardOutcome] = []
     mode = "empty"
     engine_limit = None if (project and distinct) else limit
@@ -258,29 +391,48 @@ def evaluate_parallel(
         n_shards = min(
             len(plan.candidates), max(1, workers) * max(1, shards_per_worker)
         )
-        shard_lists = _split(plan.candidates, n_shards)
+        bounds = _bounds(len(plan.candidates), n_shards)
         remaining = None
         if timeout is not None:
             remaining = max(timeout - (time.perf_counter() - started), 0.0)
-        tasks = [
-            ShardTask(
-                index=i,
-                query=query,
-                engine=driver.name,
-                exact_estimates=driver._exact_estimates,
-                variable=plan.variable.name,
-                candidates=chunk,
-                budget=remaining,
-                limit=engine_limit,
-                traced=trace is not None,
-            )
-            for i, chunk in enumerate(shard_lists)
-        ]
         if workers <= 1:
             mode = "inline"
+            tasks = [
+                ShardTask(
+                    uid=0,
+                    index=i,
+                    query=query,
+                    engine=driver.name,
+                    exact_estimates=driver._exact_estimates,
+                    variable=plan.variable.name,
+                    span=None,
+                    candidates=tuple(plan.candidates[start:stop]),
+                    budget=remaining,
+                    limit=engine_limit,
+                    traced=trace is not None,
+                )
+                for i, (start, stop) in enumerate(bounds)
+            ]
             outcomes = [run_shard(task, db=db) for task in tasks]
         else:
             pool = pool_for(db, workers)
+            segment = pool.publish_candidates(plan.candidates)
+            tasks = [
+                ShardTask(
+                    uid=pool.next_uid(),
+                    index=i,
+                    query=query,
+                    engine=driver.name,
+                    exact_estimates=driver._exact_estimates,
+                    variable=plan.variable.name,
+                    span=(segment, start, stop),
+                    candidates=None,
+                    budget=remaining,
+                    limit=engine_limit,
+                    traced=trace is not None,
+                )
+                for i, (start, stop) in enumerate(bounds)
+            ]
             outcomes = pool.map_shards(tasks)
             mode = pool.start_method
 
@@ -303,15 +455,14 @@ def evaluate_parallel(
         merged.timed_out = merged.timed_out or outcome.timed_out
         if len(order) == 1 and outcome.first_descent:
             order.extend(Var(name) for name in outcome.first_descent)
-        solutions.extend(
-            {Var(name): value for name, value in solution.items()}
-            for solution in outcome.solutions
-        )
+        solutions.extend(unpack_solutions(outcome.var_names, outcome.packed))
+        start, stop = bounds[outcome.index]
         shards_meta.append(
             {
                 "shard": outcome.index,
-                "candidates": len(shard_lists[outcome.index]),
+                "candidates": stop - start,
                 "solutions": outcome.solutions_found,
+                "streamed_chunks": outcome.n_chunks,
                 "elapsed_s": outcome.elapsed,
             }
         )

@@ -21,6 +21,13 @@ import os
 #: are ignored — forcing a pool of one would only add overhead.
 ENV_WORKERS = "REPRO_PARALLEL_WORKERS"
 
+#: Environment variable pinning the pool start method (``fork`` or
+#: ``spawn``). Unset or unrecognized values fall back to the platform
+#: default (fork where available). The CI ``parallel-shm`` job forces
+#: ``spawn`` to prove the shm transport works without copy-on-write
+#: inheritance.
+ENV_START_METHOD = "REPRO_PARALLEL_START_METHOD"
+
 # Set inside pool workers: a worker must never recursively shard the
 # queries it evaluates (daemonic processes cannot fork children).
 _IN_WORKER = False
@@ -45,3 +52,9 @@ def forced_workers() -> int:
     except ValueError:
         return 0
     return workers if workers >= 2 else 0
+
+
+def forced_start_method() -> str | None:
+    """Start method forced via the environment, or ``None``."""
+    raw = os.environ.get(ENV_START_METHOD, "").strip().lower()
+    return raw if raw in ("fork", "spawn") else None

@@ -1,0 +1,491 @@
+"""Shared-memory transport for the succinct indexes (zero-copy workers).
+
+The worker pool used to ship the database by pickling it into every
+child (or by relying on fork's copy-on-write). This module replaces
+that transport: each succinct structure — :class:`BitVector`,
+:class:`WaveletTree`, :class:`CumulativeCounts`, :class:`KnnRing`,
+:class:`DistanceRangeIndex`, the :class:`RingIndex` and the whole
+:class:`GraphDatabase` — *flattens* into a registry of contiguous
+little-endian arrays packed into one
+:class:`multiprocessing.shared_memory.SharedMemory` segment, plus a
+tiny picklable :class:`ShmManifest` describing where each array lives.
+Workers *attach*: they map the same segment and rebuild the structures
+as zero-copy numpy views over it, dropping the plain-int hot-path
+caches exactly as ``__getstate__`` does today — the caches are rebuilt
+lazily by each structure's ``__getattr__`` on first touch, while the
+canonical buffers are shared pages that cost no per-worker copy.
+
+Layout: arrays are packed back to back at 8-byte-aligned offsets, each
+recorded in the manifest as ``(offset, dtype, shape)`` with an explicit
+little-endian dtype string (``<u8``/``<i8``/``<f8``), so a manifest is
+valid regardless of the attaching interpreter's native byte order. The
+structure tree itself is a nested ``dict`` of plain scalars and array
+indices (``kind`` tags select the attach constructor).
+
+Lifecycle: the *creator* (the parent process that owns the pool) is the
+only party that ever ``unlink``\\ s a segment. Creation registers the
+segment in a process-local registry (:func:`active_segments`), unlink
+removes it — the shm-lifecycle leak tests assert the registry is empty
+and ``/dev/shm`` is clean after an engine closes, after a worker raises
+mid-shard, and after ``serve-batch`` finishes. Workers only ``close``
+their attachment (and tolerate a late close while views are alive: the
+OS unmaps everything at process exit anyway). POSIX resource-tracker
+accounting stays balanced because registrations are a *set*: the
+creator's register and any number of attach-side registrations collapse
+to one entry, removed by the creator's single unlink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.engines.database import GraphDatabase
+from repro.knn.distance_index import DistanceRangeIndex
+from repro.knn.succinct import KnnRing
+from repro.ring.index import RingIndex
+from repro.succinct.arrays import CumulativeCounts
+from repro.succinct.bitvector import BitVector
+from repro.succinct.wavelet_tree import WaveletTree
+from repro.utils.errors import StructureError
+
+__all__ = [
+    "ShmManifest",
+    "StructureShm",
+    "AttachedShm",
+    "ScratchBuffer",
+    "attach",
+    "active_segments",
+    "flatten_structure",
+]
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+# ----------------------------------------------------------------------
+# segment registry (leak-test introspection)
+# ----------------------------------------------------------------------
+# Every segment this process *created* and has not yet unlinked. The
+# lifecycle tests assert this is empty after engines/pools close; the
+# atexit pool shutdown drains it even on abnormal paths.
+_CREATED: dict[str, "StructureShm | ScratchBuffer"] = {}
+
+
+def active_segments() -> tuple[str, ...]:
+    """Names of shared segments created here and not yet unlinked."""
+    return tuple(sorted(_CREATED))
+
+
+# ----------------------------------------------------------------------
+# manifest
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShmManifest:
+    """Picklable description of one flattened structure tree.
+
+    ``entries[i]`` locates array ``i`` inside the segment as
+    ``(byte offset, little-endian dtype string, shape)``; ``root`` is
+    the nested structure meta whose leaves reference arrays by index.
+    """
+
+    segment: str
+    entries: tuple[tuple[int, str, tuple[int, ...]], ...]
+    root: dict[str, Any] = field(hash=False)
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        for offset, dtype, shape in self.entries:
+            count = 1
+            for dim in shape:
+                count *= dim
+            total = max(total, offset + count * np.dtype(dtype).itemsize)
+        return total
+
+
+class _SegmentBuilder:
+    """Collects arrays during flattening; writes them into one segment."""
+
+    def __init__(self) -> None:
+        self._pending: list[tuple[int, np.ndarray]] = []
+        self._entries: list[tuple[int, str, tuple[int, ...]]] = []
+        self._size = 0
+
+    def put(self, array: np.ndarray, dtype: str) -> int:
+        """Register one canonical array; returns its manifest index."""
+        arr = np.ascontiguousarray(np.asarray(array)).astype(dtype, copy=False)
+        offset = _align8(self._size)
+        self._entries.append((offset, dtype, tuple(arr.shape)))
+        self._pending.append((offset, arr))
+        self._size = offset + arr.nbytes
+        return len(self._entries) - 1
+
+    def build(self, root: dict[str, Any]) -> tuple[ShmManifest, shared_memory.SharedMemory]:
+        shm = shared_memory.SharedMemory(create=True, size=max(self._size, 1))
+        for offset, arr in self._pending:
+            view = np.frombuffer(
+                shm.buf, dtype=arr.dtype, count=arr.size, offset=offset
+            )
+            view[:] = arr.reshape(-1)
+            del view
+        self._pending.clear()
+        manifest = ShmManifest(
+            segment=shm.name, entries=tuple(self._entries), root=root
+        )
+        return manifest, shm
+
+
+class _SegmentView:
+    """Read-only numpy views over one attached segment."""
+
+    def __init__(self, manifest: ShmManifest, shm: shared_memory.SharedMemory) -> None:
+        self._manifest = manifest
+        self._shm = shm
+
+    def get(self, index: int) -> np.ndarray:
+        offset, dtype, shape = self._manifest.entries[index]
+        count = 1
+        for dim in shape:
+            count *= dim
+        arr = np.frombuffer(
+            self._shm.buf, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+        arr.setflags(write=False)
+        return arr
+
+
+# ----------------------------------------------------------------------
+# per-structure flatten / attach
+# ----------------------------------------------------------------------
+def _flatten_bitvector(bv: BitVector, b: _SegmentBuilder) -> dict[str, Any]:
+    return {
+        "kind": "bitvector",
+        "n": bv._n,
+        "words": b.put(bv._words, "<u8"),
+        "cum1": b.put(bv._cum1, "<i8"),
+        "cum0": b.put(bv._cum0, "<i8"),
+    }
+
+
+def _attach_bitvector(meta: dict[str, Any], view: _SegmentView) -> BitVector:
+    bv = BitVector.__new__(BitVector)
+    bv._n = int(meta["n"])
+    bv._words = view.get(meta["words"])
+    bv._cum1 = view.get(meta["cum1"])
+    bv._cum0 = view.get(meta["cum0"])
+    # The plain-int caches (_words_i/_cum1_i/_cum0_i) are deliberately
+    # absent — __getattr__ rebuilds them lazily, as after unpickling.
+    return bv
+
+
+def _flatten_wavelet(wt: WaveletTree, b: _SegmentBuilder) -> dict[str, Any]:
+    return {
+        "kind": "wavelet",
+        "n": wt._n,
+        "sigma": wt._sigma,
+        "height": wt._height,
+        "levels": [_flatten_bitvector(bv, b) for bv in wt._levels],
+        "counts": b.put(wt._counts, "<i8"),
+    }
+
+
+def _attach_wavelet(meta: dict[str, Any], view: _SegmentView) -> WaveletTree:
+    wt = WaveletTree.__new__(WaveletTree)
+    wt._n = int(meta["n"])
+    wt._sigma = int(meta["sigma"])
+    wt._height = int(meta["height"])
+    wt._levels = [_attach_bitvector(m, view) for m in meta["levels"]]
+    wt._counts = view.get(meta["counts"])
+    # Evaluation-scoped recorder state never crosses the boundary.
+    wt.ops = None
+    wt._memo_users = 0
+    wt._memo_rank = None
+    wt._memo_next = None
+    return wt
+
+
+def _flatten_cumcounts(cc: CumulativeCounts, b: _SegmentBuilder) -> dict[str, Any]:
+    return {
+        "kind": "cumcounts",
+        "n": cc._n,
+        "sigma": cc._sigma,
+        "cum": b.put(cc._cum, "<i8"),
+    }
+
+
+def _attach_cumcounts(meta: dict[str, Any], view: _SegmentView) -> CumulativeCounts:
+    cc = CumulativeCounts.__new__(CumulativeCounts)
+    cc._n = int(meta["n"])
+    cc._sigma = int(meta["sigma"])
+    cc._cum = view.get(meta["cum"])
+    return cc
+
+
+def _flatten_knn_ring(ring: KnnRing, b: _SegmentBuilder) -> dict[str, Any]:
+    return {
+        "kind": "knn_ring",
+        "K": ring._K,
+        "members": b.put(ring._members, "<i8"),
+        "s_offsets": b.put(ring._s_offsets, "<i8"),
+        "S": _flatten_wavelet(ring._S, b),
+        "Sprime": _flatten_wavelet(ring._Sprime, b),
+        "B": _flatten_bitvector(ring._B, b),
+    }
+
+
+def _attach_knn_ring(meta: dict[str, Any], view: _SegmentView) -> KnnRing:
+    ring = KnnRing.__new__(KnnRing)
+    ring._K = int(meta["K"])
+    ring._members = view.get(meta["members"])
+    ring._s_offsets = view.get(meta["s_offsets"])
+    ring._S = _attach_wavelet(meta["S"], view)
+    ring._Sprime = _attach_wavelet(meta["Sprime"], view)
+    ring._B = _attach_bitvector(meta["B"], view)
+    return ring
+
+
+def _flatten_distance_index(
+    index: DistanceRangeIndex, b: _SegmentBuilder
+) -> dict[str, Any]:
+    return {
+        "kind": "distance_index",
+        "d_max": index._d_max,
+        "members": b.put(index._members, "<i8"),
+        "distances": b.put(index._distances, "<f8"),
+        "D": _flatten_wavelet(index._D, b),
+        "B": _flatten_bitvector(index._B, b),
+    }
+
+
+def _attach_distance_index(
+    meta: dict[str, Any], view: _SegmentView
+) -> DistanceRangeIndex:
+    index = DistanceRangeIndex.__new__(DistanceRangeIndex)
+    index._d_max = float(meta["d_max"])
+    index._members = view.get(meta["members"])
+    index._distances = view.get(meta["distances"])
+    index._D = _attach_wavelet(meta["D"], view)
+    index._B = _attach_bitvector(meta["B"], view)
+    return index
+
+
+def _flatten_ring_index(ring: RingIndex, b: _SegmentBuilder) -> dict[str, Any]:
+    return {
+        "kind": "ring_index",
+        "num_edges": ring._num_edges,
+        "domain": ring._domain,
+        "columns": {
+            coord: _flatten_wavelet(ring._columns[coord], b) for coord in "spo"
+        },
+        "blocks": {
+            coord: _flatten_cumcounts(ring._blocks[coord], b) for coord in "spo"
+        },
+    }
+
+
+def _attach_ring_index(meta: dict[str, Any], view: _SegmentView) -> RingIndex:
+    ring = RingIndex.__new__(RingIndex)
+    ring._num_edges = int(meta["num_edges"])
+    ring._domain = int(meta["domain"])
+    ring._columns = {
+        coord: _attach_wavelet(meta["columns"][coord], view) for coord in "spo"
+    }
+    ring._blocks = {
+        coord: _attach_cumcounts(meta["blocks"][coord], view) for coord in "spo"
+    }
+    return ring
+
+
+def _flatten_database(db: GraphDatabase, b: _SegmentBuilder) -> dict[str, Any]:
+    return {
+        "kind": "database",
+        "ring": _flatten_ring_index(db.ring, b),
+        "knn_rings": {
+            name: _flatten_knn_ring(ring, b)
+            for name, ring in sorted(db.knn_rings.items())
+        },
+        "distance_index": (
+            None
+            if db.distance_index is None
+            else _flatten_distance_index(db.distance_index, b)
+        ),
+    }
+
+
+def _attach_database(meta: dict[str, Any], view: _SegmentView) -> GraphDatabase:
+    db = GraphDatabase.__new__(GraphDatabase)
+    # The query path (validate_query, the Ring engines, the LTJ
+    # relations) touches only the succinct structures below. The raw
+    # graph/K-NN tables never travel to workers; engines that need them
+    # (baseline, classic, materialize) are not worker-dispatched.
+    db.graph = None  # type: ignore[assignment]
+    db.knn_graphs = {}
+    db._adjacency = {}
+    db.ring = _attach_ring_index(meta["ring"], view)
+    db.knn_rings = {
+        name: _attach_knn_ring(m, view)
+        for name, m in meta["knn_rings"].items()
+    }
+    db.distance_index = (
+        None
+        if meta["distance_index"] is None
+        else _attach_distance_index(meta["distance_index"], view)
+    )
+    return db
+
+
+_FLATTENERS: tuple[tuple[type, Any], ...] = (
+    (GraphDatabase, _flatten_database),
+    (RingIndex, _flatten_ring_index),
+    (KnnRing, _flatten_knn_ring),
+    (DistanceRangeIndex, _flatten_distance_index),
+    (WaveletTree, _flatten_wavelet),
+    (CumulativeCounts, _flatten_cumcounts),
+    (BitVector, _flatten_bitvector),
+)
+
+_ATTACHERS = {
+    "database": _attach_database,
+    "ring_index": _attach_ring_index,
+    "knn_ring": _attach_knn_ring,
+    "distance_index": _attach_distance_index,
+    "wavelet": _attach_wavelet,
+    "cumcounts": _attach_cumcounts,
+    "bitvector": _attach_bitvector,
+}
+
+
+def flatten_structure(structure: object, builder: _SegmentBuilder) -> dict[str, Any]:
+    """Flatten any supported structure into ``builder``; returns meta."""
+    for cls, flatten in _FLATTENERS:
+        if isinstance(structure, cls):
+            return flatten(structure, builder)
+    raise StructureError(
+        f"no shm flattener for {type(structure).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# creator / attach handles
+# ----------------------------------------------------------------------
+class StructureShm:
+    """Creator-side owner of one flattened structure's shared segment."""
+
+    def __init__(self, manifest: ShmManifest, shm: shared_memory.SharedMemory) -> None:
+        self.manifest = manifest
+        self._shm: shared_memory.SharedMemory | None = shm
+        _CREATED[manifest.segment] = self
+
+    @classmethod
+    def create(cls, structure: object) -> "StructureShm":
+        """Flatten ``structure`` into a fresh shared segment."""
+        builder = _SegmentBuilder()
+        root = flatten_structure(structure, builder)
+        manifest, shm = builder.build(root)
+        return cls(manifest, shm)
+
+    @property
+    def name(self) -> str:
+        return self.manifest.segment
+
+    def close(self) -> None:
+        """Close the creator's mapping and unlink the segment."""
+        shm = self._shm
+        self._shm = None
+        if shm is not None:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        _CREATED.pop(self.manifest.segment, None)
+
+
+class AttachedShm:
+    """Attach-side handle: the rebuilt structure plus its mapping."""
+
+    def __init__(self, manifest: ShmManifest) -> None:
+        self._shm = shared_memory.SharedMemory(name=manifest.segment)
+        self.structure = _ATTACHERS[manifest.root["kind"]](
+            manifest.root, _SegmentView(manifest, self._shm)
+        )
+
+    def close(self) -> None:
+        """Drop the rebuilt structure and the mapping.
+
+        Callers must not hold views into the segment past this call
+        (the structure reference is dropped here so CPython refcounting
+        frees the numpy views immediately). Never unlinks — the creator
+        owns the segment's lifetime.
+        """
+        self.structure = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - caller kept views
+            # The process exit unmaps regardless.
+            pass
+
+
+def attach(manifest: ShmManifest) -> AttachedShm:
+    """Rebuild a flattened structure zero-copy over its shared segment."""
+    return AttachedShm(manifest)
+
+
+# ----------------------------------------------------------------------
+# scratch buffer (shard-range candidate transport)
+# ----------------------------------------------------------------------
+class ScratchBuffer:
+    """Reusable shared int64 buffer for first-variable candidate lists.
+
+    ``evaluate_parallel`` publishes each query's candidate list here
+    once; shard tasks then carry only ``(segment name, start, stop)``
+    descriptors. Publications are strictly serialized with the shard
+    maps that read them (the executor publishes, dispatches, and joins
+    before the next publish), so overwriting from offset 0 is safe. The
+    buffer grows geometrically and re-registers under a new name when
+    it does; replaced segments are unlinked immediately (attached
+    workers keep their mapping — POSIX keeps unlinked segments alive
+    until the last map goes away — and never see the stale name again
+    because tasks name the segment current at publish time).
+    """
+
+    def __init__(self) -> None:
+        self._shm: shared_memory.SharedMemory | None = None
+        self._capacity = 0
+
+    @property
+    def name(self) -> str | None:
+        return None if self._shm is None else self._shm.name
+
+    def publish(self, values: Sequence[int]) -> tuple[str, int]:
+        """Write ``values``; returns ``(segment name, length)``."""
+        n = len(values)
+        if self._shm is None or self._capacity < n:
+            self.close()
+            self._capacity = max(2 * n, 4096)
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=self._capacity * 8
+            )
+            _CREATED[self._shm.name] = self
+        view = np.frombuffer(self._shm.buf, dtype="<i8", count=n)
+        view[:] = np.asarray(values, dtype="<i8")
+        del view
+        return (self._shm.name, n)
+
+    def close(self) -> None:
+        shm = self._shm
+        self._shm = None
+        self._capacity = 0
+        if shm is not None:
+            name = shm.name
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            _CREATED.pop(name, None)

@@ -1,24 +1,30 @@
-"""Worker-side execution of domain shards and whole queries.
+"""Worker-side execution of domain shards and batched whole queries.
 
 Everything in this module runs inside :mod:`multiprocessing` pool
 workers (or inline in the parent, for pools of one). The pool
-initializer installs the read-only :class:`GraphDatabase` — shared by
-fork on platforms that support it, shipped once via the succinct
-structures' cache-dropping ``__getstate__`` otherwise — in a module
-global, so individual tasks reference the indexes by construction
-instead of serializing them per task.
+initializer receives only a tiny picklable :class:`ShmManifest` and a
+chunk queue: it attaches the shared-memory segment published by the
+parent and rebuilds the read-only :class:`GraphDatabase` zero-copy over
+it (see :mod:`repro.parallel.shm`) — no index bytes ever cross the pipe,
+under fork *or* spawn.
 
-Task and outcome types are plain picklable dataclasses; solutions cross
-the process boundary as ``{variable name: constant}`` dictionaries and
-are rebound to :class:`~repro.query.model.Var` keys by the merging
-parent.
+Tasks are descriptors, not payloads: a :class:`ShardTask` carries a
+``(segment, start, stop)`` span into the parent's scratch buffer rather
+than the candidate list itself, and a :class:`QueryBatchTask` carries
+many small queries per round trip. Solutions travel back *packed* — a
+fixed variable-name tuple plus an ``int64`` row matrix — and large
+results stream through the chunk queue in fixed-size chunks instead of
+riding the result pipe whole.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
 
 from repro.ltj.engine import LTJEngine
 from repro.obs.trace import (
@@ -28,41 +34,40 @@ from repro.obs.trace import (
     wavelet_targets,
 )
 from repro.parallel import forced
+from repro.parallel.shm import AttachedShm, ShmManifest, attach
 from repro.query.model import ExtendedBGP, Var
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engines.database import GraphDatabase
 
+#: Fixed chunk size (solution rows) for streaming large results back
+#: through the chunk queue instead of the pool's result pipe.
+CHUNK_SOLUTIONS = 8192
+
 _WORKER_DB: "GraphDatabase | None" = None
+_WORKER_ATTACHMENT: AttachedShm | None = None
+_CHUNK_QUEUE: Any = None
+
+#: Worker-side cache of attached scratch (candidate-span) segments,
+#: keyed by segment name. The parent replaces the scratch segment only
+#: when it grows, so this holds at most one live entry plus stale ones
+#: that are dropped the first time a task names a new segment.
+_SCRATCH_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
 
 
-def _init_worker(db: "GraphDatabase") -> None:
-    """Pool initializer: install the shared database, detach recorders.
+def _init_worker(manifest: ShmManifest, chunk_queue: Any) -> None:
+    """Pool initializer: attach the shared database, keep the mapping.
 
-    Under fork the child inherits whatever recorder state the parent
-    happened to have attached at pool-start time (op-counter hooks,
-    per-query memos mid-evaluation); those belong to the parent's
-    evaluation, so they are stripped before the worker serves tasks.
+    The attachment is held in a module global for the worker's whole
+    life; rebuilt structures start with recorder state detached (no op
+    counters, no memos) by construction, so nothing inherited from the
+    parent's evaluations can leak into task counts.
     """
-    global _WORKER_DB
+    global _WORKER_DB, _WORKER_ATTACHMENT, _CHUNK_QUEUE
     forced.mark_worker_process()
-    _reset_observability(db)
-    _WORKER_DB = db
-
-
-def _reset_observability(db: "GraphDatabase") -> None:
-    """Detach op counters / memos inherited through fork."""
-    trees = [db.ring.column(coord) for coord in "spo"]
-    for knn_ring in db.knn_rings.values():
-        trees.append(knn_ring.S)
-        trees.append(knn_ring.Sprime)
-    if db.distance_index is not None:
-        trees.append(db.distance_index.D)
-    for tree in trees:
-        tree.ops = None
-        tree._memo_users = 0
-        tree._memo_rank = None
-        tree._memo_next = None
+    _WORKER_ATTACHMENT = attach(manifest)
+    _WORKER_DB = _WORKER_ATTACHMENT.structure
+    _CHUNK_QUEUE = chunk_queue
 
 
 def _serial_engine(db: "GraphDatabase", name: str, exact_estimates: bool):
@@ -79,12 +84,83 @@ def _serial_engine(db: "GraphDatabase", name: str, exact_estimates: bool):
     return classes[name](db, exact_estimates=exact_estimates)
 
 
+def _resolve_span(span: tuple[str, int, int]) -> tuple[int, ...]:
+    """Read a candidate span out of the parent's scratch segment."""
+    name, start, stop = span
+    segment = _SCRATCH_SEGMENTS.get(name)
+    if segment is None:
+        # A new scratch segment supersedes any previous one; drop stale
+        # attachments (the parent unlinked them when it grew).
+        for old_name in sorted(_SCRATCH_SEGMENTS):
+            _SCRATCH_SEGMENTS.pop(old_name).close()
+        segment = shared_memory.SharedMemory(name=name)
+        _SCRATCH_SEGMENTS[name] = segment
+    view = np.frombuffer(
+        segment.buf, dtype="<i8", count=stop - start, offset=start * 8
+    )
+    candidates = tuple(int(value) for value in view)
+    del view
+    return candidates
+
+
+def _pack_solutions(
+    solutions: list[dict[Var, int]], variables: Sequence[Var]
+) -> tuple[tuple[str, ...], "np.ndarray"]:
+    """Pack solutions as (variable names, int64 row matrix).
+
+    Every LTJ solution binds every variable, but the *insertion order*
+    of the binding dicts can differ per subtree under the adaptive
+    orderings — packing against one fixed variable order is what makes
+    the matrix well-defined. Dict equality is order-insensitive, so the
+    parent's rebuilt dicts still compare equal to the serial engine's.
+    """
+    names = tuple(v.name for v in variables)
+    packed = np.empty((len(solutions), len(names)), dtype="<i8")
+    for row, solution in enumerate(solutions):
+        for col, variable in enumerate(variables):
+            packed[row, col] = solution[variable]
+    return names, packed
+
+
+def _emit(
+    uid: int, names: tuple[str, ...], packed: "np.ndarray"
+) -> tuple["np.ndarray | None", int]:
+    """Return the packed matrix inline, or stream it in fixed chunks.
+
+    Small results ride the pool's result pipe with the outcome; large
+    ones go through the chunk queue in ``CHUNK_SOLUTIONS``-row pieces so
+    no single pipe message carries an unbounded payload. Returns
+    ``(inline payload, number of chunks streamed)``.
+    """
+    if _CHUNK_QUEUE is None or len(packed) <= CHUNK_SOLUTIONS:
+        return packed, 0
+    n_chunks = 0
+    for start in range(0, len(packed), CHUNK_SOLUTIONS):
+        chunk = np.ascontiguousarray(packed[start : start + CHUNK_SOLUTIONS])
+        _CHUNK_QUEUE.put((uid, n_chunks, chunk))
+        n_chunks += 1
+    return None, n_chunks
+
+
+def unpack_solutions(
+    names: tuple[str, ...], packed: "np.ndarray | None"
+) -> list[dict[Var, int]]:
+    """Rebuild binding dicts from a packed solution matrix."""
+    if packed is None or len(packed) == 0:
+        return []
+    variables = [Var(name) for name in names]
+    return [dict(zip(variables, row)) for row in packed.tolist()]
+
+
 # ----------------------------------------------------------------------
 # intra-query sharding: one slice of the first variable's candidates
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ShardTask:
     """One contiguous slice of the first variable's candidate list."""
+
+    uid: int
+    """Pool-unique id correlating streamed chunks with this task."""
 
     index: int
     query: ExtendedBGP
@@ -94,7 +170,14 @@ class ShardTask:
 
     exact_estimates: bool
     variable: str
-    candidates: tuple[int, ...]
+    span: tuple[str, int, int] | None
+    """``(scratch segment, start, stop)`` locating this shard's
+    candidates in shared memory; ``None`` for inline execution."""
+
+    candidates: tuple[int, ...] | None
+    """Inline candidate list (pool size 1 / tests); ``None`` when the
+    candidates live in the scratch segment."""
+
     budget: float | None
     """Remaining wall-clock seconds of the query's timeout, if any."""
 
@@ -106,8 +189,14 @@ class ShardTask:
 class ShardOutcome:
     """What one shard sends back to the merging parent."""
 
+    uid: int
     index: int
-    solutions: list[dict[str, int]]
+    var_names: tuple[str, ...]
+    packed: "np.ndarray | None"
+    """Inline ``(n, len(var_names))`` int64 solution matrix, or ``None``
+    when the matrix was streamed through the chunk queue."""
+
+    n_chunks: int
     solutions_found: int
     bindings: int
     attempts: int
@@ -130,6 +219,12 @@ def run_shard(
     if database is None:
         raise RuntimeError("worker pool used before initialization")
     started = time.perf_counter()
+    if task.candidates is not None:
+        candidates = task.candidates
+    elif task.span is not None:
+        candidates = _resolve_span(task.span)
+    else:
+        raise RuntimeError("shard task carries neither span nor candidates")
     driver = _serial_engine(database, task.engine, task.exact_estimates)
     relations = driver.compile(task.query)
     trace = QueryTrace(engine=task.engine) if task.traced else None
@@ -146,15 +241,20 @@ def run_shard(
         pairs = wavelet_targets(trace, database, task.query)
         with attach_wavelets(pairs):
             with trace.phase("evaluate"):
-                solutions = list(engine.run_prebound(variable, task.candidates))
+                solutions = list(engine.run_prebound(variable, candidates))
     else:
-        solutions = list(engine.run_prebound(variable, task.candidates))
+        solutions = list(engine.run_prebound(variable, candidates))
     stats = engine.stats
+    names, matrix = _pack_solutions(solutions, engine.variables)
+    payload, n_chunks = (
+        (matrix, 0) if db is not None else _emit(task.uid, names, matrix)
+    )
     return ShardOutcome(
+        uid=task.uid,
         index=task.index,
-        solutions=[
-            {v.name: c for v, c in solution.items()} for solution in solutions
-        ],
+        var_names=names,
+        packed=payload,
+        n_chunks=n_chunks,
         solutions_found=stats.solutions,
         bindings=stats.bindings,
         attempts=stats.attempts,
@@ -167,12 +267,13 @@ def run_shard(
 
 
 # ----------------------------------------------------------------------
-# inter-query batching: one whole (small) query per task
+# inter-query batching: many whole (small) queries per round trip
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class QueryTask:
     """One whole query multiplexed through the pool by the scheduler."""
 
+    uid: int
     index: int
     query: ExtendedBGP
     engine: str
@@ -181,13 +282,28 @@ class QueryTask:
     limit: int | None
 
 
+@dataclass(frozen=True)
+class QueryBatchTask:
+    """A group of small queries served in one worker round trip.
+
+    Batching amortizes the per-dispatch pipe cost over many queries —
+    the scheduler groups small-estimate queries so a worker round trip
+    does milliseconds of pipe traffic for tens of queries of work.
+    """
+
+    tasks: tuple[QueryTask, ...]
+
+
 @dataclass
 class QueryOutcome:
     """Result of one whole-query task."""
 
+    uid: int
     index: int
     engine: str
-    solutions: list[dict[str, int]]
+    var_names: tuple[str, ...]
+    packed: "np.ndarray | None"
+    n_chunks: int
     solutions_found: int
     bindings: int
     attempts: int
@@ -212,13 +328,21 @@ def run_query(
         task.query, timeout=task.timeout, limit=task.limit
     )
     stats = result.stats
+    if result.solutions:
+        variables = sorted(result.solutions[0], key=lambda v: v.name)
+    else:
+        variables = []
+    names, matrix = _pack_solutions(result.solutions, variables)
+    payload, n_chunks = (
+        (matrix, 0) if db is not None else _emit(task.uid, names, matrix)
+    )
     return QueryOutcome(
+        uid=task.uid,
         index=task.index,
         engine=result.engine,
-        solutions=[
-            {v.name: c for v, c in solution.items()}
-            for solution in result.solutions
-        ],
+        var_names=names,
+        packed=payload,
+        n_chunks=n_chunks,
         solutions_found=stats.solutions,
         bindings=stats.bindings,
         attempts=stats.attempts,
@@ -226,3 +350,10 @@ def run_query(
         timed_out=stats.timed_out,
         elapsed=stats.elapsed,
     )
+
+
+def run_query_batch(
+    batch: QueryBatchTask, db: "GraphDatabase | None" = None
+) -> list[QueryOutcome]:
+    """Serve one batch of whole queries in a single round trip."""
+    return [run_query(task, db=db) for task in batch.tasks]

@@ -1,0 +1,30 @@
+# reprolint-module: repro.parallel.fixture_transport
+"""RPL007 fixture: pickle-based index transport inside repro.parallel."""
+
+import pickle
+from pickle import dumps
+
+
+class PickledIndexTransport:
+    def __init__(self, index):
+        self._index = index
+
+    def ship(self):
+        return pickle.dumps(self._index)
+
+    def ship_state(self):
+        return self._index.__getstate__()
+
+    def __getstate__(self):
+        return {"index": bytes(self._index)}
+
+    def __setstate__(self, state):
+        self._index = state["index"]
+
+
+def receive(payload):
+    return pickle.loads(payload)
+
+
+def reuse_import(index):
+    return dumps(index)

@@ -1,4 +1,4 @@
-"""Tests for the reprolint static-analysis suite (RPL001-RPL006).
+"""Tests for the reprolint static-analysis suite (RPL001-RPL007).
 
 Each rule is exercised against a fixture file in ``tests/lint_fixtures/``
 carrying known violations; fixtures impersonate in-scope modules via the
@@ -138,6 +138,46 @@ class TestRPL006StrictTyping:
         assert flagged == {"no_annotations", "half_annotated", "method"}
 
 
+class TestRPL007ShmOnlyTransport:
+    def test_flags_each_transport_kind(self):
+        result = lint_fixture("rpl007_bad.py", ["RPL007"])
+        messages = [f.message for f in result.findings]
+        assert len(result.findings) == 7
+        assert any("import of 'pickle'" in m for m in messages)
+        assert any("import from 'pickle'" in m for m in messages)
+        assert any("'pickle.dumps()'" in m for m in messages)
+        assert any("'pickle.loads()'" in m for m in messages)
+        assert any("explicit '__getstate__()' call" in m for m in messages)
+        assert any(
+            "definition of '__getstate__'" in m for m in messages
+        )
+        assert any(
+            "definition of '__setstate__'" in m for m in messages
+        )
+        # Every message points at the sanctioned path.
+        assert all("repro.parallel.shm" in m for m in messages)
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        source = FIXTURES / "rpl007_bad.py"
+        body = source.read_text().replace(
+            "# reprolint-module: repro.parallel.fixture_transport",
+            "# reprolint-module: repro.graph.fixture_transport",
+        )
+        moved = tmp_path / "elsewhere.py"
+        moved.write_text(body)
+        result = lint(Project.from_paths([moved]), get_rules(["RPL007"]))
+        assert result.ok
+
+    def test_shm_registry_module_is_exempt(self):
+        # The shm module is the sanctioned transport: the whole shipped
+        # parallel package (shm included) must be RPL007-clean.
+        parallel_dir = PACKAGE_DIR / "parallel"
+        result = lint(
+            Project.from_paths([parallel_dir]), get_rules(["RPL007"])
+        )
+        assert result.ok, "\n" + format_findings(result)
+
+
 # ----------------------------------------------------------------------
 # suppressions
 # ----------------------------------------------------------------------
@@ -163,6 +203,7 @@ class TestFramework:
         codes = [code for code, _name, _summary in rule_catalog()]
         assert codes == [
             "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+            "RPL007",
         ]
 
     def test_get_rules_rejects_unknown_codes(self):
@@ -220,7 +261,7 @@ class TestShippedTree:
     def test_cli_list_rules(self, capsys):
         assert cli_main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        assert "RPL001" in out and "RPL006" in out
+        assert "RPL001" in out and "RPL007" in out
 
 
 @pytest.mark.skipif(
