@@ -1,0 +1,208 @@
+"""Cold-start benchmark of the persistent on-disk index format.
+
+One pytest-benchmark entry per lifecycle stage of ``repro.store``:
+``save`` serializes the benchmark database, the cold-start pair
+measures build-to-first-query (parse the ``.npz`` bundle, build the
+succinct indexes, answer a minimal probe — what ``repro query --data``
+pays) against load-to-first-query (mmap the index file, verify the
+checksum, answer the same probe — what ``--from-index`` pays), and the
+steady-state pair runs the full workload over the built and the mapped
+database. Solutions are asserted identical — the mmap views must be
+invisible to query results — and the table is written to
+``benchmarks/results/store_timing.txt``.
+
+The cold-start assertion is not hardware-gated: the speedup is a ratio
+of two single-threaded paths on the same machine, and the load path is
+O(#structures) while the build path is O(bytes), so the floor below is
+conservative at benchmark scale (the Figure-2-scale acceptance run
+measures 11-14x).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import QUERY_TIMEOUT, write_results
+from repro.engines.database import GraphDatabase
+from repro.engines.ring_knn import RingKnnEngine
+from repro.graph.io import load_bundle, save_bundle
+from repro.query.parser import parse_query
+from repro.store import load, save
+
+#: Floor on load-vs-build cold-start speedup (acceptance: >= 10x at
+#: Figure-2 scale; the benchmark database is larger, which widens it).
+MIN_COLD_START_SPEEDUP = 5.0
+
+#: Ceiling on mapped steady-state time relative to the built database
+#: (page-resident mmap views should be indistinguishable from heap).
+MAX_MAPPED_STEADY_RATIO = 1.5
+
+BEST_OF_ROUNDS = 3
+
+_collected: dict[str, dict] = {}
+
+
+def _flat_queries(workload):
+    return [
+        query
+        for _family, family_queries in sorted(workload.items())
+        for query in family_queries
+    ]
+
+
+def _best_of(fn, rounds: int = BEST_OF_ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _steady(database, queries) -> dict:
+    engine = RingKnnEngine(database)
+    started = time.perf_counter()
+    solutions = 0
+    timeouts = 0
+    for query in queries:
+        result = engine.evaluate(query, timeout=QUERY_TIMEOUT)
+        solutions += len(result.solutions)
+        timeouts += int(result.timed_out)
+    return {
+        "total_s": time.perf_counter() - started,
+        "solutions": solutions,
+        "timeouts": timeouts,
+    }
+
+
+@pytest.fixture(scope="module")
+def store_paths(tmp_path_factory, wikimedia_bench, database):
+    tmpdir = tmp_path_factory.mktemp("bench_store")
+    bundle_path = tmpdir / "bench.npz"
+    save_bundle(
+        bundle_path, wikimedia_bench.graph, wikimedia_bench.knn_graph,
+        wikimedia_bench.points,
+    )
+    return {"bundle": bundle_path, "index": tmpdir / "bench.idx"}
+
+
+def test_store_save(benchmark, database, store_paths):
+    path = store_paths["index"]
+
+    def timed_save() -> dict:
+        started = time.perf_counter()
+        nbytes = save(database, path)
+        return {"total_s": time.perf_counter() - started, "bytes": nbytes}
+
+    entry = benchmark.pedantic(timed_save, rounds=1, iterations=1)
+    benchmark.extra_info.update(entry)
+    _collected["save"] = entry
+
+
+def test_store_cold_start(benchmark, database, store_paths):
+    probe = parse_query("(?x, 0, ?y)")
+    bundle_path, path = store_paths["bundle"], store_paths["index"]
+    if not path.exists():
+        save(database, path)
+
+    def build_first() -> None:
+        graph, knn_graph, _points = load_bundle(bundle_path)
+        fresh = GraphDatabase(graph, knn_graph)
+        RingKnnEngine(fresh).evaluate(probe, timeout=None, limit=1)
+
+    def load_first() -> None:
+        mapped = load(path)
+        RingKnnEngine(mapped.database).evaluate(probe, timeout=None, limit=1)
+        mapped.close()
+
+    build_first_s = _best_of(build_first)
+    load_first_s = benchmark.pedantic(
+        lambda: _best_of(load_first), rounds=1, iterations=1
+    )
+    speedup = build_first_s / load_first_s if load_first_s > 0 else 0.0
+    entry = {
+        "build_first_query_s": build_first_s,
+        "load_first_query_s": load_first_s,
+        "speedup_vs_build": speedup,
+    }
+    benchmark.extra_info.update(entry)
+    _collected["cold_start"] = entry
+
+    assert speedup >= MIN_COLD_START_SPEEDUP, (
+        f"mmap load-to-first-query reached only {speedup:.1f}x over the "
+        f"bundle-parse-and-build path (floor {MIN_COLD_START_SPEEDUP}x)"
+    )
+
+
+def test_store_steady_parity(benchmark, database, store_paths, workload):
+    path = store_paths["index"]
+    if not path.exists():
+        save(database, path)
+    queries = _flat_queries(workload)
+
+    built = _steady(database, queries)  # warms parent-side memos too
+    built = _steady(database, queries)
+    store = load(path)
+    try:
+        mapped = benchmark.pedantic(
+            lambda: _steady(store.database, queries), rounds=1, iterations=1
+        )
+    finally:
+        store.close()
+
+    if not built["timeouts"] and not mapped["timeouts"]:
+        assert mapped["solutions"] == built["solutions"], (
+            "mmap-loaded index changed the solution count"
+        )
+    ratio = (
+        mapped["total_s"] / built["total_s"] if built["total_s"] > 0 else 0.0
+    )
+    entry = {
+        "built_steady_s": built["total_s"],
+        "mapped_steady_s": mapped["total_s"],
+        "parity_vs_built": ratio,
+        "solutions": mapped["solutions"],
+        "timeouts": mapped["timeouts"],
+    }
+    benchmark.extra_info.update(entry)
+    _collected["steady"] = entry
+
+    if not built["timeouts"] and not mapped["timeouts"]:
+        assert ratio <= MAX_MAPPED_STEADY_RATIO, (
+            f"mapped steady state ran {ratio:.2f}x of built — mmap views "
+            "should be indistinguishable once pages are resident"
+        )
+
+
+def test_store_report():
+    lines = ["persistent index store (repro.store) timings"]
+    entry = _collected.get("save")
+    if entry is not None:
+        lines.append(
+            f"  save: {entry['total_s'] * 1e3:.2f} ms "
+            f"({entry['bytes']} bytes)"
+        )
+    entry = _collected.get("cold_start")
+    if entry is not None:
+        lines.append(
+            f"  build-to-first-query: "
+            f"{entry['build_first_query_s'] * 1e3:.2f} ms"
+        )
+        lines.append(
+            f"  load-to-first-query:  "
+            f"{entry['load_first_query_s'] * 1e3:.2f} ms "
+            f"({entry['speedup_vs_build']:.1f}x)"
+        )
+    entry = _collected.get("steady")
+    if entry is not None:
+        lines.append(
+            f"  steady state: mapped {entry['mapped_steady_s']:.3f}s vs "
+            f"built {entry['built_steady_s']:.3f}s "
+            f"(parity {entry['parity_vs_built']:.2f}x, "
+            f"{entry['solutions']} solutions)"
+        )
+    text = "\n".join(lines)
+    write_results("store_timing", text)
+    print(text)

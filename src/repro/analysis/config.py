@@ -33,6 +33,20 @@ VALIDATED_BITVECTOR_OPS: frozenset[str] = frozenset(
     {"rank1", "rank0", "select1", "select0", "next_one", "rank1_range"}
 )
 
+#: Canonical numpy arrays that carry a lazily-built plain-int mirror
+#: (``<name>_i``). Hot-path code must index the mirror, never the
+#: array: a raw element read yields a ``numpy.int64`` scalar whose
+#: arithmetic re-enters numpy dispatch on every later use — the
+#: scalar-leak tax the PR-3 plain-int caches eliminated. This matters
+#: doubly for shm/mmap-attached structures (worker pools, ``repro
+#: build`` indexes), where the canonical arrays are views over a shared
+#: buffer and the mirrors are the coercion boundary that keeps numpy
+#: scalars out of query evaluation. Slice reads are fine — they stay
+#: arrays and feed vectorized code.
+INT_MIRRORED_ARRAY_ATTRS: frozenset[str] = frozenset(
+    {"_words", "_cum1", "_cum0", "_cum", "_counts", "_members", "_s_offsets"}
+)
+
 # ----------------------------------------------------------------------
 # RPL002 — counter-before-memo.
 #

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 from repro.analysis import astutil
 from repro.analysis.config import (
     HOT_PATH_PREFIXES,
+    INT_MIRRORED_ARRAY_ATTRS,
     VALIDATED_BITVECTOR_OPS,
     in_scope,
 )
@@ -39,14 +40,18 @@ class HotPathPurity(Rule):
     code = "RPL001"
     name = "hot-path-purity"
     summary = (
-        "hot-path modules must use unchecked _*_u BitVector kernels and "
-        "bisect instead of np.searchsorted in loops"
+        "hot-path modules must use unchecked _*_u BitVector kernels, "
+        "bisect instead of np.searchsorted in loops, and the plain-int "
+        "_i mirrors instead of indexing canonical numpy arrays"
     )
 
     def check(self, module: "ModuleInfo", project: "Project") -> Iterator["Finding"]:
         if not in_scope(module.name, HOT_PATH_PREFIXES):
             return
         for node in ast.walk(module.tree):
+            if isinstance(node, ast.Subscript):
+                yield from self._check_subscript(module, node)
+                continue
             if not isinstance(node, ast.Call):
                 continue
             chain = astutil.call_name(node)
@@ -72,3 +77,33 @@ class HotPathPurity(Rule):
                         "numpy dispatch dominates the profile here)",
                         node,
                     )
+
+    def _check_subscript(
+        self, module: "ModuleInfo", node: ast.Subscript
+    ) -> Iterator["Finding"]:
+        """Flag element reads of canonical arrays that have ``_i`` mirrors.
+
+        ``x._counts[c]`` yields a ``numpy.int64`` that re-enters numpy
+        dispatch on every later arithmetic op — and on shm/mmap-attached
+        structures the canonical array is a view over a shared buffer,
+        making the ``_i`` mirror the coercion boundary that keeps numpy
+        scalars out of the hot path. Slices and writes stay vectorized
+        and are exempt.
+        """
+        if not isinstance(node.ctx, ast.Load):
+            return
+        if isinstance(node.slice, ast.Slice):
+            return
+        value = node.value
+        if not isinstance(value, ast.Attribute):
+            return
+        if value.attr not in INT_MIRRORED_ARRAY_ATTRS:
+            return
+        yield module.finding(
+            self.code,
+            f"element read of canonical array '.{value.attr}[...]' on "
+            f"the hot path yields a numpy scalar; index the plain-int "
+            f"'.{value.attr}_i' mirror instead (slices are exempt — "
+            "they stay vectorized)",
+            node,
+        )

@@ -21,7 +21,15 @@ three measurement groups:
   it once per database — and speedups compare steady state against the
   serial ``auto`` loop. Diffs against documents that predate the group
   simply skip it (wall diffs walk shared keys only), and its solution
-  counts are cross-checked against the serial pass at record time.
+  counts are cross-checked against the serial pass at record time;
+* **store** — the persistent-index cold-start comparison
+  (:mod:`repro.store`): serializing the built indexes to disk,
+  **build-to-first-query** (index the raw tables, then answer one
+  query) versus **load-to-first-query** (mmap the index file, then
+  answer the same query), and a steady-state parity check that runs the
+  whole workload over both the built and the mapped database — the
+  mmap views must neither change solutions (asserted at record time)
+  nor meaningfully change throughput.
 
 Wall-clock numbers are environment-sensitive, so every run also records
 a **calibration** time (a fixed pure-Python loop). When diffing two
@@ -92,6 +100,9 @@ class BenchConfig:
     micro: bool = True
     parallel_workers: tuple[int, ...] = (1, 2, 4)
     """Pool sizes of the parallel scaling curve (empty tuple disables)."""
+
+    store: bool = True
+    """Run the persistent-index build-vs-load cold-start section."""
 
     label: str = ""
 
@@ -222,7 +233,12 @@ def run_micro() -> dict[str, dict[str, float | int]]:
     return out
 
 
-def _build(config: BenchConfig):
+def _build_full(config: BenchConfig):
+    """Generate the benchmark, index it, and derive the workload.
+
+    Returns ``(bench, db, workload)`` — the raw benchmark is kept so the
+    store pass can re-index it when timing build-to-first-query.
+    """
     bench = generate_benchmark(
         WikimediaConfig(
             n_entities=config.entities,
@@ -245,6 +261,11 @@ def _build(config: BenchConfig):
             seed=config.workload_seed,
         ),
     )
+    return bench, db, workload
+
+
+def _build(config: BenchConfig):
+    _bench, db, workload = _build_full(config)
     return db, workload
 
 
@@ -351,6 +372,104 @@ def _parallel_pass(db, workload, config: BenchConfig) -> dict[str, dict]:
     return out
 
 
+def _store_pass(bench, db, workload, config: BenchConfig) -> dict[str, dict]:
+    """Persistent-index cold start versus the bundle-parse-and-build path.
+
+    The two cold-start paths answer the same minimal single-triple
+    probe (``limit=1`` — time to first solution): **build_first_query**
+    is exactly what ``repro query --data`` pays (parse the ``.npz``
+    bundle, build the indexes, answer the probe) while
+    **load_first_query** is what ``--from-index`` pays (mmap the file
+    written by ``save``, verify the payload checksum, answer the same
+    probe). Both are millisecond-scale, so each is best-of-3 like the
+    micro loops. The steady-state pair runs the full workload over the
+    built and the mapped database with the same engine; their solutions
+    are asserted identical at record time — the mmap views must be
+    invisible to query results — and the wall-time ratio lands in
+    ``mapped_steady["parity_vs_built"]``.
+    """
+    import tempfile
+
+    from repro.graph.io import load_bundle, save_bundle
+    from repro.query.parser import parse_query
+    from repro.store import load, save
+
+    queries = [
+        query
+        for _family, family_queries in sorted(workload.items())
+        for query in family_queries
+    ]
+    probe = parse_query("(?x, 0, ?y)")
+
+    def steady(database) -> tuple[float, int, int]:
+        engine = RingKnnEngine(database)
+        started = time.perf_counter()
+        solutions = 0
+        timeouts = 0
+        for query in queries:
+            result = engine.evaluate(query, timeout=config.timeout)
+            solutions += len(result.solutions)
+            timeouts += int(result.timed_out)
+        return time.perf_counter() - started, solutions, timeouts
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmpdir:
+        bundle_path = os.path.join(tmpdir, "bench.npz")
+        save_bundle(bundle_path, bench.graph, bench.knn_graph, bench.points)
+        path = os.path.join(tmpdir, "bench.idx")
+        started = time.perf_counter()
+        nbytes = save(db, path)
+        save_s = time.perf_counter() - started
+
+        def build_first() -> None:
+            graph, knn_graph, _points = load_bundle(bundle_path)
+            fresh = GraphDatabase(graph, knn_graph)
+            RingKnnEngine(fresh).evaluate(probe, timeout=None, limit=1)
+
+        def load_first() -> None:
+            mapped = load(path)
+            RingKnnEngine(mapped.database).evaluate(
+                probe, timeout=None, limit=1
+            )
+            mapped.close()
+
+        build_first_s = _best_of(build_first, rounds=3)
+        load_first_s = _best_of(load_first, rounds=3)
+
+        store = load(path)
+        built_s, built_solutions, built_timeouts = steady(db)
+        mapped_s, mapped_solutions, mapped_timeouts = steady(store.database)
+        store.close()
+
+    if mapped_solutions != built_solutions and not (
+        built_timeouts or mapped_timeouts
+    ):
+        raise ValidationError(
+            f"mmap-loaded index found {mapped_solutions} solutions, "
+            f"in-memory build found {built_solutions}"
+        )
+    return {
+        "save": {"total_s": save_s, "bytes": nbytes},
+        "build_first_query": {"total_s": build_first_s},
+        "load_first_query": {
+            "total_s": load_first_s,
+            "speedup_vs_build": (
+                build_first_s / load_first_s if load_first_s > 0 else 0.0
+            ),
+        },
+        "built_steady": {
+            "total_s": built_s,
+            "solutions": built_solutions,
+            "timeouts": built_timeouts,
+        },
+        "mapped_steady": {
+            "total_s": mapped_s,
+            "solutions": mapped_solutions,
+            "timeouts": mapped_timeouts,
+            "parity_vs_built": (mapped_s / built_s) if built_s > 0 else 0.0,
+        },
+    }
+
+
 def collect_opcounts(
     db, workload, engines: tuple[str, ...]
 ) -> dict[str, dict]:
@@ -388,7 +507,7 @@ def run_bench(config: BenchConfig, date: str | None = None) -> dict:
     if date is None:
         date = time.strftime("%Y-%m-%d")
     calibration = calibrate()
-    db, workload = _build(config)
+    bench, db, workload = _build_full(config)
     figure2 = _timed_pass(db, workload, config)
     opcounts = collect_opcounts(db, workload, config.engines)
     micro = run_micro() if config.micro else {}
@@ -397,6 +516,7 @@ def run_bench(config: BenchConfig, date: str | None = None) -> dict:
         if config.parallel_workers
         else {}
     )
+    store = _store_pass(bench, db, workload, config) if config.store else {}
     doc = {
         "version": BENCH_VERSION,
         "date": date,
@@ -407,6 +527,7 @@ def run_bench(config: BenchConfig, date: str | None = None) -> dict:
         "opcounts": opcounts,
         "micro": micro,
         "parallel": parallel,
+        "store": store,
         "totals": {
             "figure2_wall_s": float(
                 sum(entry["total_s"] for entry in figure2.values())
@@ -476,7 +597,7 @@ def _walk_wall(doc: dict, saturated: set[str]) -> dict[str, float]:
     one side stays in — that asymmetry is a real signal).
     """
     out: dict[str, float] = {}
-    for group in ("figure2", "micro"):
+    for group in ("figure2", "micro", "store"):
         for key, entry in doc.get(group, {}).items():
             if group == "figure2" and key in saturated:
                 continue

@@ -3,6 +3,7 @@
 Subcommands::
 
     repro generate  --out bench.npz [--entities N --images N --k K ...]
+    repro build     --data bench.npz --out bench.idx
     repro query     --data bench.npz --query "(?x, 0, ?y) . knn(?x, ?y, 5)"
     repro explain   --data bench.npz --query "..." [--engine ring-knn --analyze]
     repro trace     --data bench.npz --query "..." [--engine auto --out t.json]
@@ -15,7 +16,10 @@ Subcommands::
     repro lint      [paths...] [--format text|json --rules RPL001,... ]
 
 ``generate`` writes an ``.npz`` bundle (see :mod:`repro.graph.io`);
-``query``/``explain``/``trace`` read one. ``trace`` evaluates the query
+``build`` indexes a bundle once and writes the persistent index file
+(:mod:`repro.store`) that ``--from-index`` memory-maps back in with
+zero deserialization. ``query``/``explain``/``trace`` read either a
+bundle (``--data``) or a built index (``--from-index``). ``trace`` evaluates the query
 under a :class:`~repro.obs.trace.QueryTrace` and emits the
 schema-validated JSON document (:mod:`repro.obs.schema`) that
 :mod:`repro.obs.diff` can compare across runs. The figure subcommands
@@ -103,8 +107,64 @@ def _load_db(path: str) -> GraphDatabase:
     return GraphDatabase(graph, knn_graph)
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+# Engines that need the raw graph/K-NN tables, which a persistent index
+# deliberately does not carry (it holds the succinct structures only).
+_GRAPH_REQUIRED = {"baseline", "materialize", "sixperm-knn"}
+
+
+def _db_from_args(args: argparse.Namespace) -> GraphDatabase:
+    """Open the database from ``--data`` (build) or ``--from-index`` (mmap)."""
+    from_index = getattr(args, "from_index", None)
+    if not from_index:
+        return _load_db(args.data)
+    db = GraphDatabase.from_index(from_index, verify=not args.no_verify)
+    engine = getattr(args, "engine", None)
+    if engine in _GRAPH_REQUIRED:
+        from repro.utils.errors import ValidationError
+
+        raise ValidationError(
+            f"engine {engine!r} needs the raw graph tables, which a "
+            "persistent index does not carry; use --data, or one of the "
+            "Ring engines (ring-knn, ring-knn-s, parallel-knn, auto)"
+        )
+    return db
+
+
+def _add_source_flags(p: argparse.ArgumentParser) -> None:
+    """``--data`` / ``--from-index``: exactly one input source."""
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--data", help=".npz bundle (indexed on load)")
+    group.add_argument(
+        "--from-index",
+        help="persistent index file from 'repro build' (mmap, instant load)",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the --from-index payload checksum for the fastest "
+        "possible cold start",
+    )
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.store import save
+
+    t0 = _time.perf_counter()
     db = _load_db(args.data)
+    t1 = _time.perf_counter()
+    nbytes = save(db, args.out)
+    t2 = _time.perf_counter()
+    print(
+        f"wrote {args.out}: {nbytes} bytes "
+        f"(index build {t1 - t0:.3f}s, serialize {t2 - t1:.3f}s)"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = _db_from_args(args)
     query = parse_query(args.query)
     engine = _make_engine(args.engine, db, workers=args.workers)
     result = engine.evaluate(query, timeout=args.timeout, limit=args.limit)
@@ -128,7 +188,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    db = _load_db(args.data)
+    db = _db_from_args(args)
     query = parse_query(args.query)
     report = explain(
         db,
@@ -145,7 +205,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
     from repro.parallel.scheduler import QueryScheduler
 
-    db = _load_db(args.data)
+    db = _db_from_args(args)
     with open(args.queries, encoding="utf-8") as handle:
         texts = [
             line.strip()
@@ -188,7 +248,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    db = _load_db(args.data)
+    db = _db_from_args(args)
     query = parse_query(args.query)
     engine = _make_engine(args.engine, db, workers=args.workers)
     trace = QueryTrace(query=args.query)
@@ -295,6 +355,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         engines=tuple(args.engines.split(",")),
         micro=not args.no_micro,
         parallel_workers=parallel_workers,
+        store=not args.no_store,
         label=args.label,
     )
     date = _time.strftime("%Y-%m-%d")
@@ -307,6 +368,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"micro {totals['micro_wall_s']:.2f}s, "
         f"{totals['wavelet_ops']} wavelet ops"
     )
+    store = doc.get("store") or {}
+    if store:
+        print(
+            "store: load-to-first-query "
+            f"{store['load_first_query']['total_s'] * 1e3:.1f}ms vs build "
+            f"{store['build_first_query']['total_s'] * 1e3:.1f}ms "
+            f"({store['load_first_query']['speedup_vs_build']:.0f}x), "
+            "mapped steady-state "
+            f"{store['mapped_steady']['parity_vs_built']:.2f}x of built"
+        )
     if args.baseline:
         baseline = load_bench(args.baseline)
         diff = diff_bench(
@@ -395,8 +466,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(func=_cmd_generate)
 
-    p = sub.add_parser("query", help="evaluate an extended BGP")
+    p = sub.add_parser(
+        "build",
+        help="index a bundle and write a persistent index file",
+    )
     p.add_argument("--data", required=True, help=".npz bundle")
+    p.add_argument("--out", required=True, help="index file path")
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("query", help="evaluate an extended BGP")
+    _add_source_flags(p)
     p.add_argument("--query", required=True)
     p.add_argument("--engine", choices=sorted(ENGINES), default="ring-knn")
     p.add_argument("--timeout", type=float, default=60.0)
@@ -411,7 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("explain", help="explain a query plan")
-    p.add_argument("--data", required=True)
+    _add_source_flags(p)
     p.add_argument("--query", required=True)
     p.add_argument(
         "--engine",
@@ -436,7 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "trace", help="evaluate a query and emit its JSON trace"
     )
-    p.add_argument("--data", required=True, help=".npz bundle")
+    _add_source_flags(p)
     p.add_argument("--query", required=True)
     p.add_argument("--engine", choices=sorted(ENGINES), default="auto")
     p.add_argument("--timeout", type=float, default=60.0)
@@ -455,7 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-batch",
         help="schedule a batch of queries over one worker pool",
     )
-    p.add_argument("--data", required=True, help=".npz bundle")
+    _add_source_flags(p)
     p.add_argument(
         "--queries",
         required=True,
@@ -510,6 +589,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated engine subset",
     )
     p.add_argument("--no-micro", action="store_true")
+    p.add_argument(
+        "--no-store",
+        action="store_true",
+        help="skip the persistent-index build-vs-load cold-start section",
+    )
     p.add_argument(
         "--parallel-workers",
         default="1,2,4",

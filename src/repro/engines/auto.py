@@ -47,6 +47,28 @@ class AutoEngine:
         self._ring_knn_s = RingKnnSEngine(db, exact_estimates=exact_estimates)
         self.workers = int(workers)
         self._parallel: dict[str, object] = {}
+        self._owned_store: object | None = None
+
+    @classmethod
+    def from_index(
+        cls,
+        path: str,
+        exact_estimates: bool = False,
+        workers: int = 1,
+        verify: bool = True,
+        prime: bool = False,
+    ) -> "AutoEngine":
+        """Construct an engine over an mmap-loaded persistent index.
+
+        The engine owns the store it loaded: :meth:`close` releases the
+        mapping along with any worker pools. With ``workers >= 2`` the
+        pools attach their spawn workers directly to the index file —
+        warm-up skips the flatten-into-shared-memory step entirely.
+        """
+        db = GraphDatabase.from_index(path, verify=verify, prime=prime)
+        engine = cls(db, exact_estimates=exact_estimates, workers=workers)
+        engine._owned_store = db.store
+        return engine
 
     def _parallel_for(self, base: str):
         """Cached sharding wrapper around the selected serial engine."""
@@ -65,10 +87,16 @@ class AutoEngine:
 
     def close(self) -> None:
         """Release any worker pools (and shm segments) for this
-        database. No-op when nothing parallel ever ran."""
+        database, plus the index-store mapping when this engine was
+        built via :meth:`from_index`. No-op when nothing parallel ever
+        ran and no store is owned."""
         from repro.parallel.executor import close_pools_for
 
         close_pools_for(self._db)
+        store = self._owned_store
+        self._owned_store = None
+        if store is not None:
+            store.close()  # type: ignore[attr-defined]
 
     def select(self, query: ExtendedBGP) -> str:
         """Return the chosen engine name for ``query``."""

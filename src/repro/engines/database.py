@@ -61,6 +61,33 @@ class GraphDatabase:
         self._adjacency: dict[str, KnnAdjacency] = {}
 
     # ------------------------------------------------------------------
+    # persistent-store construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(
+        cls, path: str, verify: bool = True, prime: bool = False
+    ) -> "GraphDatabase":
+        """Attach a database zero-copy from a persistent index file.
+
+        The returned database carries only the succinct structures (the
+        raw ``graph``/``knn_graphs`` tables are not part of the
+        artifact — the same contract as shared-memory worker
+        attachment), so the Ring/K-NN engines work but the baseline
+        family does not. The backing :class:`~repro.store.IndexStore`
+        is reachable as ``db._store`` and owns the mapping's lifetime;
+        worker pools detect it and attach spawn workers directly to the
+        file instead of flattening into a fresh shared segment.
+        """
+        from repro.store import load
+
+        return load(path, verify=verify, prime=prime).database
+
+    @property
+    def store(self) -> object | None:
+        """The backing :class:`~repro.store.IndexStore`, if mmap-loaded."""
+        return getattr(self, "_store", None)
+
+    # ------------------------------------------------------------------
     # default-relation conveniences (most code uses a single relation)
     # ------------------------------------------------------------------
     @property

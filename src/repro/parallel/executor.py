@@ -109,6 +109,7 @@ class WorkerPool:
         self.start_method = "unstarted"
         self._pool: Any = None
         self._shm: StructureShm | None = None
+        self._manifest: Any = None
         self._scratch: ScratchBuffer | None = None
         self._chunks: Any = None
         self._chunk_buf: dict[int, dict[int, np.ndarray]] = {}
@@ -130,13 +131,21 @@ class WorkerPool:
                     method = "spawn"
             ctx = multiprocessing.get_context(method)
             self.start_method = method
-            self._shm = StructureShm.create(self._db)
+            store = getattr(self._db, "_store", None)
+            if store is not None:
+                # Store-backed database: workers attach the persistent
+                # file's mapping directly — no flatten, no shared
+                # segment, pool warm-up is near-free.
+                self._manifest = store.worker_manifest()
+            else:
+                self._shm = StructureShm.create(self._db)
+                self._manifest = self._shm.manifest
             self._scratch = ScratchBuffer()
             self._chunks = ctx.Queue()
             self._pool = ctx.Pool(
                 self.workers,
                 initializer=_init_worker,
-                initargs=(self._shm.manifest, self._chunks),
+                initargs=(self._manifest, self._chunks),
             )
         return self._pool
 
@@ -234,6 +243,7 @@ class WorkerPool:
         if self._shm is not None:
             self._shm.close()
             self._shm = None
+        self._manifest = None
         self.start_method = "unstarted"
 
 

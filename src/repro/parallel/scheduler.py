@@ -11,8 +11,16 @@ whole query is cheaper than the dispatch overhead of sharding it).
 Parallel-worthy queries are domain-sharded one at a time so each gets
 the full pool; small queries are *grouped* — many queries per worker
 round trip (:class:`QueryBatchTask`) — with the groups filled LPT-style
-(descending estimate, round-robin) so one expensive query cannot
-serialize a whole group behind it. The pool itself is warm and shared:
+(descending cost, round-robin) so one expensive query cannot serialize
+a whole group behind it. The LPT cost starts as the optimizer's
+first-level estimate, but every completed batch feeds its measured
+per-query wall times back into the scheduler: queries with the same
+*shape signature* (selected engine, triple/similarity/distance clause
+counts) as an already-served query are costed by an exponential moving
+average of the observed seconds instead, and unseen shapes scale their
+estimate by the observed seconds-per-estimate-unit ratio. A
+long-running server therefore converges to grouping by how long
+queries actually take, not by how long the estimates guessed. The pool itself is warm and shared:
 its shm segments are created once per database and reused across
 ``run_batch`` calls, which is what :meth:`QueryScheduler.warmup` plus
 the bench harness's warmup/steady split measure. Results come back in
@@ -55,6 +63,30 @@ DEFAULT_PARALLEL_THRESHOLD = 256
 #: across all workers.
 MAX_BATCH_SIZE = 8
 
+#: Smoothing factor of the observed-cost moving averages: each new
+#: measurement moves the per-signature EWMA 30% of the way to itself,
+#: so the scheduler adapts within a few batches without letting one
+#: noisy wall time dominate.
+FEEDBACK_ALPHA = 0.3
+
+
+def query_signature(
+    engine: str, query: ExtendedBGP
+) -> tuple[str, int, int, int]:
+    """Shape signature under which observed wall times are aggregated.
+
+    Queries with the same selected engine and the same triple /
+    similarity-clause / distance-clause counts get one cost bucket:
+    coarse enough that a server sees repeats, fine enough that Q1-style
+    point lookups never share a bucket with Q5-style cycles.
+    """
+    return (
+        engine,
+        len(query.triples),
+        len(query.clauses),
+        len(query.dist_clauses),
+    )
+
 
 @dataclass(frozen=True)
 class ScheduledQuery:
@@ -73,6 +105,10 @@ class ScheduledQuery:
     first leapfrog level's size under either ordering."""
 
     reason: str
+
+    signature: tuple[str, int, int, int] = ("", 0, 0, 0)
+    """Shape bucket (:func:`query_signature`) that observed wall times
+    of this query feed into — and are read back from when grouping."""
 
 
 class QueryScheduler:
@@ -94,11 +130,62 @@ class QueryScheduler:
         self.max_pending = (
             max_pending if max_pending is not None else 2 * max(1, workers)
         )
+        #: EWMA of observed per-query seconds, keyed by shape signature.
+        self._observed_s: dict[tuple[str, int, int, int], float] = {}
+        #: EWMA of observed seconds per estimate unit, the bridge that
+        #: prices still-unseen shapes in the same currency.
+        self._seconds_per_unit: float | None = None
 
     def _driver(self, name: str):
         if name == self._auto._ring_knn_s.name:
             return self._auto._ring_knn_s
         return self._auto._ring_knn
+
+    # ------------------------------------------------------------------
+    # measured-cost feedback
+    # ------------------------------------------------------------------
+    def record_elapsed(self, plan: ScheduledQuery, elapsed: float) -> None:
+        """Fold one measured wall time into the cost model.
+
+        Called for every pooled query a batch completes; harmless to
+        call for anything else with a signature. Negative or zero
+        times (a worker clock hiccup) are ignored.
+        """
+        if elapsed <= 0.0:
+            return
+        previous = self._observed_s.get(plan.signature)
+        self._observed_s[plan.signature] = (
+            elapsed
+            if previous is None
+            else previous + FEEDBACK_ALPHA * (elapsed - previous)
+        )
+        if plan.estimate > 0:
+            unit = elapsed / plan.estimate
+            self._seconds_per_unit = (
+                unit
+                if self._seconds_per_unit is None
+                else self._seconds_per_unit
+                + FEEDBACK_ALPHA * (unit - self._seconds_per_unit)
+            )
+
+    def observed_cost(self, plan: ScheduledQuery) -> float | None:
+        """The EWMA seconds recorded for ``plan``'s shape, if any."""
+        return self._observed_s.get(plan.signature)
+
+    def _lpt_cost(self, plan: ScheduledQuery) -> float:
+        """Predicted seconds used as the LPT grouping weight.
+
+        Measured shapes use their EWMA directly; unmeasured ones are
+        priced as ``estimate x seconds-per-unit`` so both kinds sort in
+        one currency. Before any feedback exists the fallback is the
+        raw estimate — exactly the original estimate-only LPT.
+        """
+        observed = self._observed_s.get(plan.signature)
+        if observed is not None:
+            return observed
+        if self._seconds_per_unit is not None:
+            return plan.estimate * self._seconds_per_unit
+        return float(plan.estimate)
 
     def warmup(self) -> None:
         """Start the pool, flatten the database into shared memory and
@@ -121,6 +208,7 @@ class QueryScheduler:
         hence an upper bound on the shardable candidate range.
         """
         engine = self._auto.select(query)
+        signature = query_signature(engine, query)
         relations = self._driver(engine).compile(query)
         variables: set[Var] = set()
         for relation in relations:
@@ -132,6 +220,7 @@ class QueryScheduler:
                 engine=engine,
                 estimate=0,
                 reason="no variables to shard",
+                signature=signature,
             )
         estimate = min(
             min(
@@ -161,6 +250,7 @@ class QueryScheduler:
             engine=engine,
             estimate=estimate,
             reason=reason,
+            signature=signature,
         )
 
     def _group_pooled(
@@ -168,11 +258,13 @@ class QueryScheduler:
     ) -> list[list[ScheduledQuery]]:
         """Pack pooled queries into per-round-trip groups, LPT-style.
 
-        Sorting by descending estimate and dealing round-robin spreads
-        the expensive queries across groups (so no group serializes two
-        heavy queries) while still amortizing dispatch over up to
-        ``MAX_BATCH_SIZE`` queries per trip. Deterministic: ties break
-        on input index.
+        Sorting by descending predicted cost (:meth:`_lpt_cost` — the
+        measured EWMA where feedback exists, the scaled estimate where
+        it doesn't) and dealing round-robin spreads the expensive
+        queries across groups (so no group serializes two heavy
+        queries) while still amortizing dispatch over up to
+        ``MAX_BATCH_SIZE`` queries per trip. Deterministic for a given
+        feedback state: ties break on input index.
         """
         if not plans:
             return []
@@ -180,7 +272,7 @@ class QueryScheduler:
             len(plans),
             max(2 * self.workers, math.ceil(len(plans) / MAX_BATCH_SIZE)),
         )
-        ordered = sorted(plans, key=lambda p: (-p.estimate, p.index))
+        ordered = sorted(plans, key=lambda p: (-self._lpt_cost(p), p.index))
         groups: list[list[ScheduledQuery]] = [[] for _ in range(n_groups)]
         for i, plan in enumerate(ordered):
             groups[i % n_groups].append(plan)
@@ -209,6 +301,7 @@ class QueryScheduler:
         plans = [
             self.classify(query, index) for index, query in enumerate(queries)
         ]
+        plan_by_index = {plan.index: plan for plan in plans}
         results: list[QueryResult | None] = [None] * len(plans)
 
         # Small queries first: fill the pool with grouped whole-query
@@ -221,6 +314,11 @@ class QueryScheduler:
             pool.reconcile(outcomes)
             for outcome in outcomes:
                 results[outcome.index] = _result_from_outcome(outcome)
+                # Feed the measured wall time back into the LPT cost
+                # model so later batches group by observed seconds.
+                self.record_elapsed(
+                    plan_by_index[outcome.index], outcome.elapsed
+                )
 
         pooled = [plan for plan in plans if plan.route == "pooled"]
         for group in self._group_pooled(pooled):

@@ -58,8 +58,11 @@ __all__ = [
     "AttachedShm",
     "ScratchBuffer",
     "attach",
+    "attach_buffer",
     "active_segments",
     "flatten_structure",
+    "flatten_segment",
+    "prime_hot_caches",
 ]
 
 
@@ -109,12 +112,26 @@ class ShmManifest:
 
 
 class _SegmentBuilder:
-    """Collects arrays during flattening; writes them into one segment."""
+    """Collects arrays during flattening; writes them into one buffer.
+
+    The buffer can be a shared-memory segment (:meth:`build`) or any
+    writable byte sink (:meth:`write`) — the on-disk index store
+    (:mod:`repro.store`) writes the identical layout into a file.
+    """
 
     def __init__(self) -> None:
         self._pending: list[tuple[int, np.ndarray]] = []
         self._entries: list[tuple[int, str, tuple[int, ...]]] = []
         self._size = 0
+
+    @property
+    def size(self) -> int:
+        """Total segment bytes registered so far."""
+        return self._size
+
+    @property
+    def entries(self) -> tuple[tuple[int, str, tuple[int, ...]], ...]:
+        return tuple(self._entries)
 
     def put(self, array: np.ndarray, dtype: str) -> int:
         """Register one canonical array; returns its manifest index."""
@@ -125,14 +142,18 @@ class _SegmentBuilder:
         self._size = offset + arr.nbytes
         return len(self._entries) - 1
 
-    def build(self, root: dict[str, Any]) -> tuple[ShmManifest, shared_memory.SharedMemory]:
-        shm = shared_memory.SharedMemory(create=True, size=max(self._size, 1))
+    def write(self, buf: Any, base: int = 0) -> None:
+        """Write every registered array into ``buf`` at its offset."""
         for offset, arr in self._pending:
             view = np.frombuffer(
-                shm.buf, dtype=arr.dtype, count=arr.size, offset=offset
+                buf, dtype=arr.dtype, count=arr.size, offset=base + offset
             )
             view[:] = arr.reshape(-1)
             del view
+
+    def build(self, root: dict[str, Any]) -> tuple[ShmManifest, shared_memory.SharedMemory]:
+        shm = shared_memory.SharedMemory(create=True, size=max(self._size, 1))
+        self.write(shm.buf)
         self._pending.clear()
         manifest = ShmManifest(
             segment=shm.name, entries=tuple(self._entries), root=root
@@ -141,20 +162,33 @@ class _SegmentBuilder:
 
 
 class _SegmentView:
-    """Read-only numpy views over one attached segment."""
+    """Read-only numpy views over one attached buffer.
 
-    def __init__(self, manifest: ShmManifest, shm: shared_memory.SharedMemory) -> None:
-        self._manifest = manifest
-        self._shm = shm
+    ``buf`` is anything :func:`numpy.frombuffer` accepts — a shared
+    segment's ``.buf`` or a whole memory-mapped index file, in which
+    case ``base`` is the byte offset where the segment starts.
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[tuple[int, str, tuple[int, ...]]],
+        buf: Any,
+        base: int = 0,
+    ) -> None:
+        self._entries = entries
+        self._buf = buf
+        self._base = base
 
     def get(self, index: int) -> np.ndarray:
-        offset, dtype, shape = self._manifest.entries[index]
+        offset, dtype, shape = self._entries[index]
         count = 1
         for dim in shape:
             count *= dim
         arr = np.frombuffer(
-            self._shm.buf, dtype=dtype, count=count, offset=offset
-        ).reshape(shape)
+            self._buf, dtype=dtype, count=count, offset=self._base + offset
+        )
+        if len(shape) != 1:  # frombuffer is already 1-D
+            arr = arr.reshape(shape)
         arr.setflags(write=False)
         return arr
 
@@ -370,6 +404,95 @@ def flatten_structure(structure: object, builder: _SegmentBuilder) -> dict[str, 
     )
 
 
+def flatten_segment(
+    structure: object,
+) -> tuple[dict[str, Any], tuple[tuple[int, str, tuple[int, ...]], ...], bytearray]:
+    """Flatten ``structure`` into raw segment bytes.
+
+    Returns ``(root meta, entries, payload)`` — the same layout
+    :class:`StructureShm` writes into a shared segment, rendered into a
+    plain byte buffer so it can be written to disk (:mod:`repro.store`).
+    """
+    builder = _SegmentBuilder()
+    root = flatten_structure(structure, builder)
+    payload = bytearray(max(builder.size, 1))
+    builder.write(payload)
+    return root, builder.entries, payload
+
+
+def attach_buffer(
+    root: dict[str, Any],
+    entries: Sequence[tuple[int, str, tuple[int, ...]]],
+    buf: Any,
+    base: int = 0,
+) -> Any:
+    """Rebuild a flattened structure zero-copy over any buffer.
+
+    ``buf`` may be a shared segment's ``.buf`` or a memory-mapped index
+    file (``base`` locating the segment inside it). The caller owns the
+    buffer's lifetime and must keep it alive while the structure is in
+    use — numpy views into it are handed out, never copies.
+    """
+    return _ATTACHERS[root["kind"]](root, _SegmentView(entries, buf, base))
+
+
+# ----------------------------------------------------------------------
+# attach-boundary cache priming
+# ----------------------------------------------------------------------
+def prime_hot_caches(structure: object) -> None:
+    """Materialize the plain-int hot-path caches of an attached tree.
+
+    Attached structures drop the ``_*_i`` plain-int caches at flatten
+    time and rebuild them lazily (``__getattr__`` → ``.tolist()``) on
+    first touch. Every value in those caches is a plain Python ``int``
+    — ``.tolist()`` is the coercion boundary, so numpy scalars never
+    enter the hot path (asserted by the type-sweep test in
+    ``tests/test_store.py`` and guarded statically by RPL001's
+    canonical-array-subscript check). What lazy rebuild *does* cost is
+    first-query latency: a worker's first evaluation pays the whole
+    ``tolist`` of every structure it touches, mid-query. Calling this
+    at the attach boundary (worker initializer, store warm-up) moves
+    that cost into the explicit one-time warm-up instead.
+
+    Idempotent, and a no-op on built (non-attached) structures whose
+    caches already exist.
+    """
+    if isinstance(structure, GraphDatabase):
+        prime_hot_caches(structure.ring)
+        for ring in structure.knn_rings.values():
+            prime_hot_caches(ring)
+        if structure.distance_index is not None:
+            prime_hot_caches(structure.distance_index)
+    elif isinstance(structure, RingIndex):
+        for coord in "spo":
+            prime_hot_caches(structure._columns[coord])
+            prime_hot_caches(structure._blocks[coord])
+    elif isinstance(structure, KnnRing):
+        structure._members_i
+        structure._s_offsets_i
+        prime_hot_caches(structure._S)
+        prime_hot_caches(structure._Sprime)
+        prime_hot_caches(structure._B)
+    elif isinstance(structure, DistanceRangeIndex):
+        structure._members_i
+        prime_hot_caches(structure._D)
+        prime_hot_caches(structure._B)
+    elif isinstance(structure, WaveletTree):
+        structure._counts_i
+        for level in structure._levels:
+            prime_hot_caches(level)
+    elif isinstance(structure, CumulativeCounts):
+        structure._cum_i
+    elif isinstance(structure, BitVector):
+        structure._words_i
+        structure._cum1_i
+        structure._cum0_i
+    else:
+        raise StructureError(
+            f"no hot caches to prime for {type(structure).__name__}"
+        )
+
+
 # ----------------------------------------------------------------------
 # creator / attach handles
 # ----------------------------------------------------------------------
@@ -411,8 +534,8 @@ class AttachedShm:
 
     def __init__(self, manifest: ShmManifest) -> None:
         self._shm = shared_memory.SharedMemory(name=manifest.segment)
-        self.structure = _ATTACHERS[manifest.root["kind"]](
-            manifest.root, _SegmentView(manifest, self._shm)
+        self.structure = attach_buffer(
+            manifest.root, manifest.entries, self._shm.buf
         )
 
     def close(self) -> None:

@@ -34,7 +34,12 @@ from repro.obs.trace import (
     wavelet_targets,
 )
 from repro.parallel import forced
-from repro.parallel.shm import AttachedShm, ShmManifest, attach
+from repro.parallel.shm import (
+    AttachedShm,
+    ShmManifest,
+    attach,
+    prime_hot_caches,
+)
 from repro.query.model import ExtendedBGP, Var
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,7 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 CHUNK_SOLUTIONS = 8192
 
 _WORKER_DB: "GraphDatabase | None" = None
-_WORKER_ATTACHMENT: AttachedShm | None = None
+_WORKER_ATTACHMENT: Any = None
 _CHUNK_QUEUE: Any = None
 
 #: Worker-side cache of attached scratch (candidate-span) segments,
@@ -55,18 +60,38 @@ _CHUNK_QUEUE: Any = None
 _SCRATCH_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
 
 
-def _init_worker(manifest: ShmManifest, chunk_queue: Any) -> None:
+def _attach_manifest(manifest: Any) -> AttachedShm | Any:
+    """Attach whichever transport the manifest describes.
+
+    A :class:`ShmManifest` maps a shared segment; a store manifest
+    (:class:`repro.store.StoreManifest`) maps the persistent index file
+    directly — both yield a ``.structure`` + ``.close()`` handle over
+    the same attach registry. The store import is lazy: the parallel
+    package must not depend on the store package at import time.
+    """
+    if isinstance(manifest, ShmManifest):
+        return attach(manifest)
+    from repro.store import attach_store_manifest
+
+    return attach_store_manifest(manifest)
+
+
+def _init_worker(manifest: Any, chunk_queue: Any) -> None:
     """Pool initializer: attach the shared database, keep the mapping.
 
     The attachment is held in a module global for the worker's whole
     life; rebuilt structures start with recorder state detached (no op
     counters, no memos) by construction, so nothing inherited from the
-    parent's evaluations can leak into task counts.
+    parent's evaluations can leak into task counts. The plain-int
+    hot-path caches are primed here — at the attach boundary, inside
+    the warm-up the caller already pays — so a worker's first query
+    never stalls on a lazy ``tolist`` rebuild mid-evaluation.
     """
     global _WORKER_DB, _WORKER_ATTACHMENT, _CHUNK_QUEUE
     forced.mark_worker_process()
-    _WORKER_ATTACHMENT = attach(manifest)
+    _WORKER_ATTACHMENT = _attach_manifest(manifest)
     _WORKER_DB = _WORKER_ATTACHMENT.structure
+    prime_hot_caches(_WORKER_DB)
     _CHUNK_QUEUE = chunk_queue
 
 

@@ -1,0 +1,247 @@
+"""Save/load of persistent index files and their mmap attachments.
+
+:func:`save` flattens a structure tree through the shared-memory
+transport's flatten layer (:func:`repro.parallel.shm.flatten_segment`)
+and writes header + manifest + segment atomically (temp file +
+``os.replace``), so a crashed build never leaves a half-written index
+at the target path.
+
+:func:`load` validates the header, memory-maps the whole file
+read-only, optionally verifies the payload checksum, and rebuilds the
+structures as zero-copy numpy views over the mapping
+(:func:`repro.parallel.shm.attach_buffer`). Nothing is deserialized:
+until a page is touched, it is not even read.
+
+mmap lifecycle: the returned :class:`IndexStore` owns the mapping. The
+attached structures hold numpy views *into* it, so the mapping must
+outlive every structure reference; :meth:`IndexStore.close` drops the
+store's own structure reference first and tolerates a caller who kept
+views alive (the OS unmaps at process exit regardless — the same
+contract as :class:`repro.parallel.shm.AttachedShm`). Worker processes
+attach the same file through :func:`attach_store_manifest`; an
+already-attached mapping survives even deletion of the file, so a
+parent may rebuild an index while a warm pool is still serving the old
+one.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from typing import Any
+
+from repro.parallel.shm import attach_buffer, flatten_segment, prime_hot_caches
+from repro.store.format import (
+    HEADER_SIZE,
+    Header,
+    StoreManifest,
+    checksum_parts,
+    decode_manifest,
+    encode_manifest,
+    pack_header,
+    payload_checksum,
+    require_little_endian_host,
+    unpack_header,
+)
+from repro.utils.errors import StoreChecksumError, StoreFormatError
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+def save(structure: object, path: str) -> int:
+    """Write ``structure`` as a versioned index file; returns its size.
+
+    Any structure the shm transport can flatten is accepted — the whole
+    :class:`~repro.engines.database.GraphDatabase` for ``repro build``,
+    or a single succinct structure in tests. Only the succinct
+    structures travel: for a database, the raw graph and K-NN tables
+    are not part of the artifact (exactly as with worker attachment).
+    """
+    require_little_endian_host("write")
+    root, entries, segment = flatten_segment(structure)
+    manifest = encode_manifest(entries, root)
+    pad_len = _align8(HEADER_SIZE + len(manifest)) - HEADER_SIZE - len(manifest)
+    pad = b"\0" * pad_len
+    checksum = checksum_parts(manifest, pad, segment)
+    header = pack_header(len(manifest), len(segment), checksum)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(header)
+            handle.write(manifest)
+            handle.write(pad)
+            handle.write(segment)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - error path only
+            os.unlink(tmp)
+    return HEADER_SIZE + len(manifest) + len(pad) + len(segment)
+
+
+def _map_file(path: str) -> tuple[mmap.mmap, int]:
+    """Memory-map ``path`` read-only; returns ``(mapping, file size)``."""
+    try:
+        size = os.path.getsize(path)
+    except OSError as exc:
+        raise StoreFormatError(f"{path}: cannot read index file ({exc})") from exc
+    if size < HEADER_SIZE:
+        raise StoreFormatError(
+            f"{path}: truncated index file ({size} bytes, header needs "
+            f"{HEADER_SIZE})"
+        )
+    with open(path, "rb") as handle:
+        mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    return mapping, size
+
+
+def _validated_header(
+    path: str, mapping: mmap.mmap, size: int, verify: bool
+) -> Header:
+    header = unpack_header(mapping[:HEADER_SIZE], path)
+    if size < header.total_size:
+        raise StoreFormatError(
+            f"{path}: truncated index file ({size} bytes, manifest + "
+            f"segment need {header.total_size})"
+        )
+    if verify:
+        got = payload_checksum(mapping, HEADER_SIZE, header.total_size)
+        if got != header.checksum:
+            raise StoreChecksumError(
+                f"{path}: index payload checksum {got:#010x} != recorded "
+                f"{header.checksum:#010x}; the file is corrupt — rebuild "
+                "it with 'repro build'"
+            )
+    return header
+
+
+class IndexStore:
+    """Owner of one loaded index file: the mapping plus the attachment."""
+
+    def __init__(
+        self,
+        path: str,
+        header: Header,
+        mapping: mmap.mmap,
+        manifest: StoreManifest,
+    ) -> None:
+        self.path = path
+        self.header = header
+        self.manifest = manifest
+        self._mmap: mmap.mmap | None = mapping
+        self.structure: Any = attach_buffer(
+            manifest.root, manifest.entries, mapping, base=header.segment_offset
+        )
+        if manifest.root.get("kind") == "database":
+            # Back-reference so worker pools can detect a store-backed
+            # database and attach workers to the file mapping directly.
+            self.structure._store = self
+
+    @property
+    def database(self) -> Any:
+        """The attached :class:`GraphDatabase` (the common case)."""
+        if self.manifest.root.get("kind") != "database":
+            raise StoreFormatError(
+                f"{self.path}: index holds a "
+                f"'{self.manifest.root.get('kind')}', not a database"
+            )
+        return self.structure
+
+    @property
+    def nbytes(self) -> int:
+        """Total file size in bytes (header + manifest + segment)."""
+        return self.header.total_size
+
+    def worker_manifest(self) -> StoreManifest:
+        """The picklable manifest pool workers attach from."""
+        return self.manifest
+
+    def close(self) -> None:
+        """Drop the attachment and the mapping.
+
+        Mirrors ``AttachedShm.close``: the structure reference is
+        dropped so refcounting frees the views; a caller who kept a
+        view alive only defers the unmap to process exit.
+        """
+        self.structure = None
+        mapping = self._mmap
+        self._mmap = None
+        if mapping is not None:
+            try:
+                mapping.close()
+            except BufferError:  # pragma: no cover - caller kept views
+                pass
+
+
+def load(path: str, verify: bool = True, prime: bool = False) -> IndexStore:
+    """Memory-map an index file and attach its structures zero-copy.
+
+    With ``verify`` (the default) the payload checksum is confirmed
+    before anything is attached — one streaming read of the file, still
+    orders of magnitude cheaper than an index build. ``verify=False``
+    skips it for the pure O(page faults) cold start. ``prime``
+    eagerly materializes the plain-int hot-path caches
+    (:func:`repro.parallel.shm.prime_hot_caches`), trading load time
+    for first-query latency.
+    """
+    require_little_endian_host("read")
+    mapping, size = _map_file(path)
+    try:
+        header = _validated_header(path, mapping, size, verify)
+        entries, root = decode_manifest(
+            mapping[HEADER_SIZE : HEADER_SIZE + header.manifest_len], path
+        )
+        manifest = StoreManifest(
+            path=os.path.abspath(path),
+            segment_offset=header.segment_offset,
+            segment_len=header.segment_len,
+            entries=entries,
+            root=root,
+        )
+        store = IndexStore(path, header, mapping, manifest)
+    except Exception:
+        mapping.close()
+        raise
+    if prime:
+        prime_hot_caches(store.structure)
+    return store
+
+
+class AttachedStore:
+    """Worker-side handle over a file-backed mapping.
+
+    The structural twin of :class:`repro.parallel.shm.AttachedShm`
+    (``.structure`` + ``.close()``), so the pool initializer treats shm
+    and file manifests uniformly. No checksum verification: the parent
+    verified the file when it loaded the store, and worker attach must
+    stay near-free.
+    """
+
+    def __init__(self, manifest: StoreManifest) -> None:
+        mapping, size = _map_file(manifest.path)
+        # Cheap structural sanity only (magic/version/length): a worker
+        # never attaches a path the parent did not already validate.
+        header = _validated_header(manifest.path, mapping, size, verify=False)
+        self._mmap = mapping
+        self.structure: Any = attach_buffer(
+            manifest.root,
+            manifest.entries,
+            mapping,
+            base=header.segment_offset,
+        )
+
+    def close(self) -> None:
+        self.structure = None
+        try:
+            self._mmap.close()
+        except BufferError:  # pragma: no cover - caller kept views
+            pass
+
+
+def attach_store_manifest(manifest: StoreManifest) -> AttachedStore:
+    """Attach a worker to an index file described by ``manifest``."""
+    require_little_endian_host("attach")
+    return AttachedStore(manifest)

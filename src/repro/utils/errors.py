@@ -25,6 +25,32 @@ class ValidationError(ReproError):
     """An argument failed validation (bad range, negative size, ...)."""
 
 
+class StoreError(ReproError):
+    """Base class for persistent index-store (``repro.store``) failures."""
+
+
+class StoreFormatError(StoreError):
+    """An index file is structurally invalid (bad magic, truncated,
+    malformed manifest) and cannot be attached safely."""
+
+
+class StoreVersionError(StoreError):
+    """An index file's format version is not the one this code writes.
+
+    The format is intentionally versioned without migration shims: an
+    index is a cache of a build, so the remedy is ``repro build``, not
+    an in-place upgrade.
+    """
+
+
+class StoreChecksumError(StoreError):
+    """An index file's payload does not match its recorded checksum."""
+
+
+class StoreEndiannessError(StoreError):
+    """The index file or host violates the little-endian contract."""
+
+
 class TimeoutExceeded(ReproError):
     """Query evaluation exceeded its time budget.
 

@@ -1,0 +1,33 @@
+# reprolint-module: repro.knn.succinct.fixture_scalars
+"""RPL001 fixture: numpy-scalar leaks from canonical-array element reads.
+
+Element reads of the int-mirrored canonical arrays must go through the
+plain-int ``_i`` mirrors; slices and writes are exempt.
+"""
+
+
+def leaky_member(ring, j):
+    return ring._members[j]  # element read -> numpy scalar
+
+
+def leaky_offset_sum(ring, rows):
+    total = 0
+    for r in rows:
+        total += ring._s_offsets[r]  # scalar leak inside a loop
+    return total
+
+
+def fine_mirror_read(ring, j):
+    return ring._members_i[j]  # the plain-int mirror is the point
+
+
+def fine_slice(ring, lo, hi):
+    return ring._members[lo:hi]  # slices stay vectorized
+
+
+def fine_write(ring, j, value):
+    ring._members[j] = value  # writes never produce scalars
+
+
+def fine_unmirrored(index, lo, hi):
+    return index._distances[lo]  # not an int-mirrored array

@@ -63,6 +63,32 @@ class TestRPL001HotPathPurity:
         result = lint(Project.from_paths([moved]), get_rules(["RPL001"]))
         assert result.ok
 
+    def test_flags_canonical_array_element_reads(self):
+        result = lint_fixture("rpl001_scalars_bad.py", ["RPL001"])
+        messages = [f.message for f in result.findings]
+        assert len(result.findings) == 2
+        assert any("_members[...]" in m for m in messages)
+        assert any("_s_offsets[...]" in m for m in messages)
+        # every finding points at the plain-int mirror remedy
+        assert all("_i' mirror" in m for m in messages)
+
+    def test_mirror_slice_write_and_unmirrored_reads_exempt(self):
+        result = lint_fixture("rpl001_scalars_bad.py", ["RPL001"])
+        lines = {f.line for f in result.findings}
+        source = (FIXTURES / "rpl001_scalars_bad.py").read_text()
+        for marker in (
+            "_members_i[j]",
+            "_members[lo:hi]",
+            "_members[j] = value",
+            "_distances[lo]",
+        ):
+            line = next(
+                i
+                for i, text in enumerate(source.splitlines(), start=1)
+                if marker in text
+            )
+            assert line not in lines
+
 
 class TestRPL002CounterBeforeMemo:
     def test_flags_lookup_before_increment(self):

@@ -95,3 +95,83 @@ def test_run_batch_respects_limit(small_db):
         want = auto.evaluate(query, limit=3)
         assert got.solutions == want.solutions
         assert len(got.solutions) <= 3
+
+
+# ----------------------------------------------------------------------
+# measured-cost feedback into LPT grouping
+# ----------------------------------------------------------------------
+def _plan(index, estimate, signature):
+    from repro.parallel.scheduler import ScheduledQuery
+
+    return ScheduledQuery(
+        index=index,
+        route="pooled",
+        engine="ring-knn",
+        estimate=estimate,
+        reason="test",
+        signature=signature,
+    )
+
+
+def test_lpt_cost_falls_back_to_estimate(small_db):
+    scheduler = QueryScheduler(small_db, workers=2)
+    plan = scheduler.classify(BATCH[0])
+    assert plan.signature[0] == plan.engine
+    assert scheduler.observed_cost(plan) is None
+    assert scheduler._lpt_cost(plan) == float(plan.estimate)
+
+
+def test_record_elapsed_is_an_ewma(small_db):
+    from repro.parallel.scheduler import FEEDBACK_ALPHA
+
+    scheduler = QueryScheduler(small_db, workers=2)
+    plan = _plan(0, 100, ("ring-knn", 1, 0, 0))
+    scheduler.record_elapsed(plan, 2.0)
+    assert scheduler.observed_cost(plan) == 2.0
+    scheduler.record_elapsed(plan, 4.0)
+    assert scheduler.observed_cost(plan) == pytest.approx(
+        2.0 + FEEDBACK_ALPHA * 2.0
+    )
+    # Non-positive measurements (clock hiccups) are ignored.
+    scheduler.record_elapsed(plan, 0.0)
+    assert scheduler.observed_cost(plan) == pytest.approx(
+        2.0 + FEEDBACK_ALPHA * 2.0
+    )
+
+
+def test_feedback_reorders_lpt_grouping(small_db):
+    scheduler = QueryScheduler(small_db, workers=1)
+    cheap_shape = ("ring-knn", 1, 0, 0)
+    heavy_shape = ("ring-knn", 2, 1, 0)
+    # The estimates say plan 0 is the big one...
+    plans = [
+        _plan(0, 1_000, cheap_shape),
+        _plan(1, 10, heavy_shape),
+        _plan(2, 500, cheap_shape),
+    ]
+    before = scheduler._group_pooled(plans)
+    assert before[0][0].index == 0
+    # ...but measurement says the low-estimate shape dominates.
+    scheduler.record_elapsed(plans[0], 0.001)
+    scheduler.record_elapsed(plans[1], 5.0)
+    after = scheduler._group_pooled(plans)
+    assert after[0][0].index == 1
+    # The unmeasured sibling of the cheap shape rides its EWMA too.
+    assert scheduler._lpt_cost(plans[2]) == pytest.approx(0.001)
+
+
+def test_run_batch_feeds_observed_costs_back(small_db, expected):
+    scheduler = QueryScheduler(
+        small_db, workers=2, parallel_threshold=10_000
+    )
+    try:
+        results = scheduler.run_batch(BATCH)
+    finally:
+        scheduler.close()
+    for got, want in zip(results, expected):
+        assert got.solutions == want.solutions
+    # Every query was pooled (huge threshold), so every shape got a
+    # measured cost and the estimate-to-seconds bridge is primed.
+    plans = [scheduler.classify(q, i) for i, q in enumerate(BATCH)]
+    assert all(scheduler.observed_cost(p) is not None for p in plans)
+    assert scheduler._seconds_per_unit is not None

@@ -1,0 +1,501 @@
+"""Acceptance battery for the persistent on-disk index format.
+
+Mirrors the shared-memory transport's three layers
+(``tests/test_parallel_shm.py``) for :mod:`repro.store`:
+
+* **Round trips** — Hypothesis properties per structure: save → mmap
+  load → query answers exactly as the original, through a real file.
+* **Failure modes** — truncation, bad magic, version skew, checksum
+  corruption, endianness (file flag and host) each raise their typed
+  :mod:`repro.utils.errors` exception; ``verify=False`` skips only the
+  checksum.
+* **Golden sweep** — on the Figure-2 workload, an mmap-loaded database
+  answers byte-identically to the in-memory build (solutions and
+  traced op counts), serially and over worker pools under both fork
+  and spawn — with the pools attaching workers to the index file
+  directly (no shm segment).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import struct
+import sys
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import _build
+from repro.engines.auto import AutoEngine
+from repro.engines.database import GraphDatabase
+from repro.engines.parallel_knn import ParallelRingKnnEngine
+from repro.engines.ring_knn import RingKnnEngine
+from repro.knn.builders import build_knn_graph_bruteforce
+from repro.knn.distance_index import DistanceRangeIndex
+from repro.knn.succinct import KnnRing
+from repro.obs import QueryTrace
+from repro.parallel import forced
+from repro.parallel.executor import pool_for, shutdown_pools
+from repro.parallel.scheduler import QueryScheduler
+from repro.parallel.shm import active_segments
+from repro.store import (
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    MAGIC,
+    attach_store_manifest,
+    load,
+    save,
+)
+from repro.succinct.arrays import CumulativeCounts
+from repro.succinct.bitvector import BitVector
+from repro.succinct.wavelet_tree import WaveletTree
+from repro.utils.errors import (
+    StoreChecksumError,
+    StoreEndiannessError,
+    StoreFormatError,
+    StoreVersionError,
+    ValidationError,
+)
+from tests.test_golden_opcounts import CONFIG
+from tests.test_parallel_shm import (
+    _check_bitvector,
+    _check_cumcounts,
+    _check_distance_index,
+    _check_knn_ring,
+    _check_wavelet,
+    _comparable,
+)
+
+START_METHODS = ("fork", "spawn")
+
+
+# ----------------------------------------------------------------------
+# round trips: save -> load -> query == original
+# ----------------------------------------------------------------------
+class _StoreTrip:
+    """Save + mmap-load a structure through a real index file.
+
+    Assertions run inside :meth:`check` so no test-frame local keeps a
+    numpy view into the mapping alive when :meth:`close` drops it.
+    """
+
+    def __init__(self, structure: object) -> None:
+        self._dir = tempfile.mkdtemp(prefix="repro-store-test-")
+        self.path = os.path.join(self._dir, "structure.idx")
+        self.nbytes = save(structure, self.path)
+        self.store = load(self.path)
+
+    def check(self, checker, *args) -> None:
+        checker(self.store.structure, *args)
+
+    def close(self) -> None:
+        self.store.close()
+        shutil.rmtree(self._dir, ignore_errors=True)
+
+
+@settings(max_examples=20, deadline=None)
+@given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=160))
+def test_bitvector_roundtrip(bits):
+    original = BitVector(bits)
+    trip = _StoreTrip(original)
+    try:
+        assert trip.nbytes == os.path.getsize(trip.path)
+        trip.check(_check_bitvector, original, bits)
+    finally:
+        trip.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data(), sigma=st.integers(1, 12))
+def test_wavelet_tree_roundtrip(data, sigma):
+    sequence = data.draw(
+        st.lists(st.integers(0, sigma - 1), min_size=1, max_size=120)
+    )
+    original = WaveletTree(sequence, sigma)
+    trip = _StoreTrip(original)
+    try:
+        trip.check(_check_wavelet, original, sequence, sigma)
+    finally:
+        trip.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data(), sigma=st.integers(1, 12))
+def test_cumulative_counts_roundtrip(data, sigma):
+    column = data.draw(
+        st.lists(st.integers(0, sigma - 1), min_size=1, max_size=120)
+    )
+    original = CumulativeCounts(column, sigma)
+    trip = _StoreTrip(original)
+    try:
+        trip.check(_check_cumcounts, original, sigma)
+    finally:
+        trip.close()
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**16), n=st.integers(5, 14))
+def test_knn_ring_roundtrip(seed, n):
+    points = np.random.default_rng(seed).normal(size=(n, 3))
+    original = KnnRing(build_knn_graph_bruteforce(points, K=3))
+    trip = _StoreTrip(original)
+    try:
+        trip.check(_check_knn_ring, original)
+    finally:
+        trip.close()
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**16), n=st.integers(5, 14))
+def test_distance_range_index_roundtrip(seed, n):
+    points = np.random.default_rng(seed).normal(size=(n, 3))
+    original = DistanceRangeIndex(points, d_max=2.5)
+    trip = _StoreTrip(original)
+    try:
+        trip.check(_check_distance_index, original)
+    finally:
+        trip.close()
+
+
+# ----------------------------------------------------------------------
+# failure modes: every corruption has a typed exception
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def small_index(tmp_path):
+    path = str(tmp_path / "small.idx")
+    save(BitVector([1, 0, 1, 1, 0, 1]), path)
+    return path
+
+
+def _rewrite(path, offset, payload: bytes) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(payload)
+
+
+def test_missing_file_is_format_error(tmp_path):
+    with pytest.raises(StoreFormatError, match="cannot read"):
+        load(str(tmp_path / "nowhere.idx"))
+
+
+def test_empty_file_is_truncated(tmp_path):
+    path = str(tmp_path / "empty.idx")
+    open(path, "wb").close()
+    with pytest.raises(StoreFormatError, match="truncated"):
+        load(path)
+
+
+def test_short_header_is_truncated(tmp_path):
+    path = str(tmp_path / "short.idx")
+    with open(path, "wb") as handle:
+        handle.write(MAGIC + b"\0" * 4)
+    with pytest.raises(StoreFormatError, match="truncated"):
+        load(path)
+
+
+def test_truncated_payload(small_index):
+    size = os.path.getsize(small_index)
+    with open(small_index, "r+b") as handle:
+        handle.truncate(size - 8)
+    with pytest.raises(StoreFormatError, match="truncated"):
+        load(small_index)
+
+
+def test_bad_magic(small_index):
+    _rewrite(small_index, 0, b"NOTANIDX")
+    with pytest.raises(StoreFormatError, match="magic"):
+        load(small_index)
+
+
+def test_version_skew(small_index):
+    _rewrite(small_index, 8, struct.pack("<I", FORMAT_VERSION + 1))
+    with pytest.raises(StoreVersionError, match="repro build"):
+        load(small_index)
+
+
+def test_big_endian_file_flag(small_index):
+    _rewrite(small_index, 12, struct.pack("<I", 0))  # clear LE flag
+    with pytest.raises(StoreEndiannessError):
+        load(small_index)
+
+
+def test_checksum_mismatch(small_index):
+    size = os.path.getsize(small_index)
+    with open(small_index, "rb") as handle:
+        last = handle.read()[-1]
+    _rewrite(small_index, size - 1, bytes([last ^ 0xFF]))
+    with pytest.raises(StoreChecksumError, match="rebuild"):
+        load(small_index)
+    # verify=False skips only the checksum — the header still gates.
+    store = load(small_index, verify=False)
+    store.close()
+
+
+def test_malformed_manifest_json(small_index):
+    # Corrupt the manifest bytes, then re-stamp the checksum so the
+    # JSON decode (not the checksum) is what fails.
+    from repro.store.format import payload_checksum, unpack_header
+
+    with open(small_index, "rb") as handle:
+        raw = bytearray(handle.read())
+    header = unpack_header(bytes(raw[:HEADER_SIZE]), small_index)
+    raw[HEADER_SIZE : HEADER_SIZE + 8] = b"not json"
+    checksum = payload_checksum(raw, HEADER_SIZE, header.total_size)
+    raw[32:36] = struct.pack("<I", checksum)
+    with open(small_index, "wb") as handle:
+        handle.write(raw)
+    with pytest.raises(StoreFormatError, match="manifest"):
+        load(small_index)
+
+
+def test_big_endian_host_guard(small_index, monkeypatch):
+    monkeypatch.setattr(sys, "byteorder", "big")
+    with pytest.raises(StoreEndiannessError, match="read"):
+        load(small_index)
+    with pytest.raises(StoreEndiannessError, match="write"):
+        save(BitVector([1, 0]), small_index + ".other")
+
+
+def test_save_is_atomic_and_overwrites(tmp_path):
+    path = str(tmp_path / "idx.idx")
+    save(BitVector([1, 0, 1]), path)
+    first = os.path.getsize(path)
+    save(BitVector([1] * 500), path)  # replace in place
+    assert os.path.getsize(path) != first
+    leftovers = [n for n in os.listdir(tmp_path) if ".tmp." in n]
+    assert leftovers == []
+    store = load(path)
+    try:
+        assert store.structure.rank1(500) == 500
+    finally:
+        store.close()
+
+
+def test_database_property_requires_database_root(small_index):
+    store = load(small_index)
+    try:
+        with pytest.raises(StoreFormatError, match="not a database"):
+            store.database
+    finally:
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# golden Figure-2 sweep: mapped == built, serial and pooled
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig2_store(tmp_path_factory):
+    db, workload = _build(CONFIG)
+    queries = [
+        query
+        for _family, family_queries in sorted(workload.items())
+        for query in family_queries
+    ]
+    serial = RingKnnEngine(db)
+    expected = []
+    for query in queries:
+        trace = QueryTrace()
+        result = serial.evaluate(query, trace=trace)
+        expected.append((result.solutions, _comparable(trace)))
+    auto_expected = [AutoEngine(db).evaluate(q).solutions for q in queries]
+    path = str(tmp_path_factory.mktemp("store") / "fig2.idx")
+    save(db, path)
+    return queries, expected, auto_expected, path
+
+
+def test_mapped_serial_byte_identical(fig2_store):
+    queries, expected, _auto_expected, path = fig2_store
+    store = load(path)
+    try:
+        engine = RingKnnEngine(store.database)
+        for query, (expected_solutions, expected_doc) in zip(
+            queries, expected
+        ):
+            trace = QueryTrace()
+            got = engine.evaluate(query, trace=trace)
+            assert got.solutions == expected_solutions
+            assert _comparable(trace) == expected_doc
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("start_method", START_METHODS)
+@pytest.mark.parametrize("workers", (2, 4))
+def test_mapped_pool_sweep_byte_identical(
+    fig2_store, monkeypatch, workers, start_method
+):
+    queries, expected, _auto_expected, path = fig2_store
+    monkeypatch.setenv(forced.ENV_START_METHOD, start_method)
+    shutdown_pools()
+    store = load(path)
+    try:
+        db = store.database
+        engine = ParallelRingKnnEngine(db, workers=workers)
+        for query, (expected_solutions, expected_doc) in zip(
+            queries, expected
+        ):
+            trace = QueryTrace()
+            got = engine.evaluate(query, trace=trace)
+            assert got.solutions == expected_solutions, (workers, start_method)
+            assert _comparable(trace) == expected_doc, (workers, start_method)
+        pool = pool_for(db, workers)
+        assert pool.start_method == start_method
+        # The perf point of the format: workers attached to the file
+        # mapping directly — no shm segment was ever flattened.
+        assert pool._shm is None
+    finally:
+        shutdown_pools()
+        store.close()
+
+
+def test_mapped_scheduler_batch(fig2_store, monkeypatch):
+    queries, _expected, auto_expected, path = fig2_store
+    monkeypatch.setenv(forced.ENV_START_METHOD, "fork")
+    shutdown_pools()
+    store = load(path)
+    scheduler = QueryScheduler(store.database, workers=2)
+    try:
+        scheduler.warmup()
+        assert pool_for(store.database, 2)._shm is None
+        results = scheduler.run_batch(queries)
+        assert [r.solutions for r in results] == auto_expected
+    finally:
+        scheduler.close()
+        store.close()
+    assert active_segments() == ()
+
+
+def test_prime_materializes_hot_caches(fig2_store):
+    _queries, _expected, _auto_expected, path = fig2_store
+    lazy = load(path)
+    primed = load(path, prime=True)
+    try:
+        lazy_bv = lazy.database.knn_ring._B
+        primed_bv = primed.database.knn_ring._B
+        assert "_words_i" not in vars(lazy_bv)
+        assert "_words_i" in vars(primed_bv)
+        assert "_cum1_i" in vars(primed_bv)
+        assert "_members_i" in vars(primed.database.knn_ring)
+    finally:
+        lazy.close()
+        primed.close()
+
+
+def test_attached_ops_return_plain_ints(fig2_store):
+    """No numpy scalars may escape mmap-attached hot-path operations.
+
+    The canonical arrays are views over the mapping; the plain-int
+    ``_i`` mirrors (built lazily, or eagerly via ``prime``) are the
+    coercion boundary. Every public read a query evaluation bottoms
+    out in must hand back builtin ints — a ``numpy.int64`` here would
+    re-enter numpy dispatch on every later arithmetic op.
+    """
+
+    def plain_int(value):
+        return type(value) is int
+
+    _queries, _expected, _auto_expected, path = fig2_store
+    store = load(path)
+    try:
+        db = store.database
+        ring = db.knn_ring
+        bv = ring._B
+        assert plain_int(bv.rank1(len(bv) // 2))
+        assert plain_int(bv.rank0(len(bv) // 2))
+        assert plain_int(bv.select1(1))
+        assert plain_int(bv.select0(1))
+        members = ring.members.tolist()
+        u = members[0]
+        assert all(plain_int(m) for m in ring._members_i)
+        assert all(plain_int(v) for v in ring.neighbors_of(u, ring.K))
+        assert all(
+            plain_int(v) for v in ring.reverse_neighbors_of(u, ring.K)
+        )
+        assert plain_int(ring.forward_count(u, ring.K))
+        wt = db.ring._columns["o"]
+        assert plain_int(wt.access(0))
+        assert plain_int(wt.rank(wt.access(0), 1))
+        assert plain_int(wt.select(wt.access(0), 1))
+        assert plain_int(wt.total_count(wt.access(0)))
+    finally:
+        store.close()
+
+
+def test_worker_manifest_attaches_same_answers(fig2_store):
+    queries, expected, _auto_expected, path = fig2_store
+    store = load(path)
+    attached = attach_store_manifest(store.worker_manifest())
+    try:
+        engine = RingKnnEngine(attached.structure)
+        got = engine.evaluate(queries[0])
+        assert got.solutions == expected[0][0]
+    finally:
+        attached.close()
+        store.close()
+
+
+def test_from_index_classmethods(fig2_store):
+    queries, _expected, auto_expected, path = fig2_store
+    db = GraphDatabase.from_index(path)
+    assert db.graph is None  # raw tables deliberately not carried
+    assert db.store is not None
+    engine = AutoEngine.from_index(path)
+    try:
+        got = engine.evaluate(queries[0])
+        assert got.solutions == auto_expected[0]
+    finally:
+        engine.close()
+    db.store.close()
+
+
+# ----------------------------------------------------------------------
+# CLI: repro build / --from-index
+# ----------------------------------------------------------------------
+def test_cli_build_and_from_index(tmp_path, capsys):
+    from repro.cli import main
+
+    bundle = str(tmp_path / "b.npz")
+    index = str(tmp_path / "b.idx")
+    scale = [
+        "--entities", "60", "--images", "30", "--misc-triples", "200",
+        "--K", "6",
+    ]
+    assert main(["generate", "--out", bundle, *scale]) == 0
+    assert main(["build", "--data", bundle, "--out", index]) == 0
+    assert os.path.exists(index)
+    capsys.readouterr()
+
+    query = "(?x, 0, ?y) . knn(?x, ?y, 3)"
+    assert main(["query", "--data", bundle, "--query", query]) == 0
+    built_out = capsys.readouterr().out
+    assert main(["query", "--from-index", index, "--query", query]) == 0
+    mapped_out = capsys.readouterr().out
+    # Identical solutions; only the summary line may differ in timing.
+    assert built_out.splitlines()[:-1] == mapped_out.splitlines()[:-1]
+
+
+def test_cli_from_index_rejects_graph_engines(tmp_path, capsys):
+    from repro.cli import main
+
+    bundle = str(tmp_path / "b.npz")
+    index = str(tmp_path / "b.idx")
+    scale = [
+        "--entities", "60", "--images", "30", "--misc-triples", "200",
+        "--K", "6",
+    ]
+    assert main(["generate", "--out", bundle, *scale]) == 0
+    assert main(["build", "--data", bundle, "--out", index]) == 0
+    capsys.readouterr()
+    with pytest.raises(ValidationError, match="raw graph tables"):
+        main(
+            [
+                "query",
+                "--from-index", index,
+                "--engine", "baseline",
+                "--query", "(?x, 0, ?y)",
+            ]
+        )
