@@ -79,6 +79,9 @@ OBS_GUARD_PREFIXES: tuple[str, ...] = (
     "repro.succinct",
     "repro.graph",
     "repro.parallel",
+    # The query server's metrics/trace plumbing handles trace objects
+    # the same way engines do: only ever behind an `is not None` guard.
+    "repro.serve",
 )
 
 OBS_EXEMPT_PREFIXES: tuple[str, ...] = ("repro.obs",)
@@ -134,6 +137,9 @@ RELATION_EXEMPT_MODULES: frozenset[str] = frozenset(
 ENGINE_MODULE_PREFIXES: tuple[str, ...] = (
     "repro.engines",
     "repro.parallel",
+    # The query server sits on top of engines; anything in it that
+    # grows an `evaluate` method owes the same QueryResult contract.
+    "repro.serve",
 )
 
 # ----------------------------------------------------------------------

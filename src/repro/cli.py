@@ -8,6 +8,7 @@ Subcommands::
     repro explain   --data bench.npz --query "..." [--engine ring-knn --analyze]
     repro trace     --data bench.npz --query "..." [--engine auto --out t.json]
     repro serve-batch --data bench.npz --queries q.txt [--workers N]
+    repro serve     --from-index bench.idx [--port P --workers N ...]
     repro figure2   --timeout 15 [--scale flags]
     repro figure3   [--dataset anuran|drybean --scale 0.12 --K 40]
     repro space     [--scale flags]
@@ -113,15 +114,32 @@ _GRAPH_REQUIRED = {"baseline", "materialize", "sixperm-knn"}
 
 
 def _db_from_args(args: argparse.Namespace) -> GraphDatabase:
-    """Open the database from ``--data`` (build) or ``--from-index`` (mmap)."""
+    """Open the database from ``--data`` (build) or ``--from-index`` (mmap).
+
+    OS-level open failures are re-raised as typed
+    :class:`~repro.utils.errors.ValidationError` so ``main`` turns them
+    into a message and a nonzero exit, not a traceback. Structurally
+    bad index files already raise the typed ``Store*`` family from
+    :mod:`repro.store`.
+    """
+    from repro.utils.errors import ValidationError
+
     from_index = getattr(args, "from_index", None)
     if not from_index:
-        return _load_db(args.data)
-    db = GraphDatabase.from_index(from_index, verify=not args.no_verify)
+        try:
+            return _load_db(args.data)
+        except OSError as exc:
+            raise ValidationError(
+                f"cannot read data bundle {args.data!r}: {exc}"
+            ) from exc
+    try:
+        db = GraphDatabase.from_index(from_index, verify=not args.no_verify)
+    except OSError as exc:
+        raise ValidationError(
+            f"cannot open index file {from_index!r}: {exc}"
+        ) from exc
     engine = getattr(args, "engine", None)
     if engine in _GRAPH_REQUIRED:
-        from repro.utils.errors import ValidationError
-
         raise ValidationError(
             f"engine {engine!r} needs the raw graph tables, which a "
             "persistent index does not carry; use --data, or one of the "
@@ -204,15 +222,29 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
     from repro.parallel.scheduler import QueryScheduler
+    from repro.utils.errors import QueryError, ValidationError
 
     db = _db_from_args(args)
-    with open(args.queries, encoding="utf-8") as handle:
-        texts = [
-            line.strip()
-            for line in handle
-            if line.strip() and not line.lstrip().startswith("#")
-        ]
-    queries = [parse_query(text) for text in texts]
+    try:
+        with open(args.queries, encoding="utf-8") as handle:
+            texts = [
+                line.strip()
+                for line in handle
+                if line.strip() and not line.lstrip().startswith("#")
+            ]
+    except OSError as exc:
+        raise ValidationError(
+            f"cannot read query file {args.queries!r}: {exc}"
+        ) from exc
+    queries = []
+    for number, text in enumerate(texts, start=1):
+        try:
+            queries.append(parse_query(text))
+        except (QueryError, ValidationError) as exc:
+            raise QueryError(
+                f"{args.queries}: malformed query on non-comment line "
+                f"{number}: {text!r}: {exc}"
+            ) from exc
     scheduler = QueryScheduler(
         db,
         workers=args.workers,
@@ -245,6 +277,23 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         f"({args.workers} workers)"
     )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    db = _db_from_args(args)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        capacity=args.capacity,
+        parallel_threshold=args.parallel_threshold,
+        default_timeout=args.timeout,
+        drain_grace=args.drain_grace,
+        debug_faults=args.debug_faults,
+    )
+    return run_server(db, config)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -554,6 +603,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_serve_batch)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the long-running HTTP query server",
+    )
+    _add_source_flags(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="0 binds an ephemeral port (printed on the ready line)",
+    )
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument(
+        "--capacity",
+        type=int,
+        default=16,
+        help="admission window; beyond it queries shed with 429",
+    )
+    p.add_argument(
+        "--parallel-threshold",
+        type=int,
+        default=256,
+        help="first-level estimate above which a query is domain-sharded",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="default per-query deadline (seconds, end-to-end)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        help="seconds a SIGTERM drain waits for in-flight queries",
+    )
+    p.add_argument(
+        "--debug-faults",
+        action="store_true",
+        help="allow the 'debug' request field (fault-injection tests)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
     p = sub.add_parser("figure2", help="regenerate Figure 2")
     _add_scale_flags(p)
     p.add_argument("--k", type=int, default=10)
@@ -679,9 +772,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library-originated failures (:class:`~repro.utils.errors.ReproError`
+    — malformed queries, missing/corrupt inputs, store format errors)
+    become a typed one-line message on stderr and exit code 2, never a
+    traceback. Genuine bugs still propagate.
+    """
+    from repro.utils.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro {args.command}: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -244,10 +244,13 @@ def explain(
             "steer the adaptive ordering"
         )
     else:
+        # N and the domain come from the Ring, which exists for both
+        # bundle-built and store-backed (`from_index`) databases; the
+        # raw `db.graph` tables are absent in the latter.
         bound = solve_size_bound(
             query,
-            max(db.graph.num_edges, 1),
-            domain_size=max(db.graph.domain_size, 2),
+            max(db.ring.num_edges, 1),
+            domain_size=max(db.ring.domain_size, 2),
         )
         q_star = bound.q_star
     if base == "ring-knn-s" and constraint_class != "acyclic":

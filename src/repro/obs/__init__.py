@@ -8,7 +8,12 @@ traces across runs.
 
 from repro.obs.diff import CounterDelta, diff_traces, flatten_counters, format_diff
 from repro.obs.merge import merge_shard_traces
-from repro.obs.schema import TRACE_SCHEMA, TraceSchemaError, validate_trace
+from repro.obs.schema import (
+    TRACE_SCHEMA,
+    TraceSchemaError,
+    validate_document,
+    validate_trace,
+)
 from repro.obs.trace import (
     OpCounters,
     OrderingDecision,
@@ -35,6 +40,7 @@ __all__ = [
     "format_diff",
     "instrument_relations",
     "merge_shard_traces",
+    "validate_document",
     "validate_trace",
     "wavelet_targets",
 ]

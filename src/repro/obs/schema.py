@@ -171,6 +171,18 @@ def validate_trace(trace: dict) -> None:
     _validate(trace, TRACE_SCHEMA, "$")
 
 
+def validate_document(document: object, schema: dict, path: str = "$") -> None:
+    """Validate any JSON document against a schema in this dialect.
+
+    The serve wire protocol (:mod:`repro.serve.protocol`) defines its
+    request/response schemas next to this trace schema and validates
+    them through the same self-contained validator, so the whole JSON
+    surface of the system shares one dialect and one error type
+    (:class:`TraceSchemaError`).
+    """
+    _validate(document, schema, path)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Validate trace JSON files given as arguments (or stdin)."""
     args = sys.argv[1:] if argv is None else argv

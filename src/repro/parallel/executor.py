@@ -181,6 +181,20 @@ class WorkerPool:
         pool = self._start()
         return pool.apply_async(run_query_batch, (batch,))
 
+    def run_fault_probe(self) -> None:
+        """Raise a RuntimeError from inside a real pool worker.
+
+        Exercises the task-exception path end to end — the exception
+        crosses the process boundary and re-raises here, while the pool
+        itself survives (see the class docstring) and keeps serving.
+        The query server's fault battery uses this to prove a crashed
+        worker yields one failed request, not a poisoned pool. A
+        genuine ``SIGKILL`` of a pool worker would wedge ``get()``
+        instead, which is why injection happens as a raising task.
+        """
+        pool = self._start()
+        pool.apply(_injected_worker_fault)
+
     def reconcile(
         self, outcomes: Sequence[ShardOutcome | QueryOutcome]
     ) -> None:
@@ -250,6 +264,11 @@ class WorkerPool:
 def _noop(_: int) -> None:
     """Warmup barrier task (must be a module-level picklable)."""
     return None
+
+
+def _injected_worker_fault() -> None:
+    """Deliberately failing task of :meth:`WorkerPool.run_fault_probe`."""
+    raise RuntimeError("injected worker fault (repro.serve debug probe)")
 
 
 _POOLS: "OrderedDict[tuple[int, int], WorkerPool]" = OrderedDict()

@@ -284,17 +284,32 @@ class QueryScheduler:
         *,
         timeout: float | None = None,
         limit: int | None = None,
+        timeouts: Sequence[float | None] | None = None,
     ) -> list[QueryResult]:
         """Evaluate a batch, returning results in input order.
 
         Every returned :class:`QueryResult` carries the solutions the
         serial ``auto`` engine would produce, in the same order.
+
+        ``timeouts`` gives each query its own budget (the query server's
+        per-request deadlines: by dispatch time different requests have
+        different remaining budgets); it overrides the uniform
+        ``timeout`` position for position.
         """
+        if timeouts is not None and len(timeouts) != len(queries):
+            raise ValueError(
+                f"timeouts has {len(timeouts)} entries for "
+                f"{len(queries)} queries"
+            )
+        budgets: list[float | None] = (
+            list(timeouts) if timeouts is not None
+            else [timeout] * len(queries)
+        )
         if self.workers <= 1:
             serial: list[QueryResult] = []
-            for query in queries:
+            for index, query in enumerate(queries):
                 outcome = self._auto.evaluate(
-                    query, timeout=timeout, limit=limit
+                    query, timeout=budgets[index], limit=limit
                 )
                 serial.append(outcome)
             return serial
@@ -330,7 +345,7 @@ class QueryScheduler:
                         query=queries[plan.index],
                         engine=plan.engine,
                         exact_estimates=self._exact_estimates,
-                        timeout=timeout,
+                        timeout=budgets[plan.index],
                         limit=limit,
                     )
                     for plan in group
@@ -349,12 +364,13 @@ class QueryScheduler:
                 driver,
                 queries[plan.index],
                 workers=self.workers,
-                timeout=timeout,
+                timeout=budgets[plan.index],
                 limit=limit,
             )
             if outcome is None:
                 result = driver.evaluate(
-                    queries[plan.index], timeout=timeout, limit=limit
+                    queries[plan.index], timeout=budgets[plan.index],
+                    limit=limit,
                 )
             else:
                 result = QueryResult(

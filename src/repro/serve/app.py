@@ -1,0 +1,899 @@
+"""The long-running query server behind ``repro serve``.
+
+Architecture — one asyncio event loop, one dispatch thread, one worker
+pool:
+
+* The **event loop** (stdlib ``asyncio`` streams, no third-party HTTP
+  stack) accepts connections, parses requests, and makes the
+  control-plane decisions: admission (:mod:`repro.serve.admission`),
+  deadline assignment, shedding, drain. It never evaluates a query.
+* Admitted queries go onto an in-loop queue that a single **dispatcher**
+  consumes. Each wakeup it drains whatever is queued, micro-batches the
+  compatible requests (``auto`` engine, no trace) and hands each batch
+  to :meth:`repro.parallel.scheduler.QueryScheduler.run_batch` — the
+  LPT-grouped, feedback-costed batched executor — on a one-thread
+  executor. Traced, engine-pinned, or ``/explain`` requests run on the
+  same thread individually. The scheduler and the shared
+  :class:`~repro.parallel.executor.WorkerPool` are not thread-safe;
+  funnelling every evaluation through this one thread is what makes the
+  warm pool shareable across concurrent HTTP clients.
+* **Deadlines are end-to-end**: a request's budget starts at admission,
+  so time spent queued counts against it. At dispatch the remaining
+  budget becomes the engine ``timeout``, which the existing timeout
+  machinery honours cooperatively — the engine returns a
+  ``timed_out``-flagged result instead of raising, the server maps it
+  to a typed 504, and the pool is never poisoned by a cancelled query.
+* **Drain** (SIGTERM/SIGINT or :meth:`ReproServer.request_shutdown`):
+  stop accepting, reject new queries with a typed 503, let in-flight
+  queries finish (bounded by ``drain_grace``), then tear down the
+  dispatcher, the pool, and — when the database was ``--from-index``
+  loaded — the mmap store, and exit 0.
+
+Fault injection (``debug_faults=True`` only) drives the test battery:
+``{"debug": "raise"}`` raises in the dispatch thread, ``"worker-raise"``
+raises inside a real pool worker
+(:meth:`~repro.parallel.executor.WorkerPool.run_fault_probe`), and
+``"sleep:<seconds>"`` stalls dispatch to force deadline/drain overlap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.engines.auto import AutoEngine
+from repro.engines.database import GraphDatabase
+from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
+from repro.explain import explain as explain_plan
+from repro.obs import QueryTrace, validate_trace
+from repro.parallel.executor import close_pools_for, pool_for
+from repro.parallel.scheduler import QueryScheduler
+from repro.query.model import ExtendedBGP
+from repro.query.parser import parse_query
+from repro.serve import protocol
+from repro.serve.admission import AdmissionController
+from repro.serve.metrics import ServerMetrics
+from repro.utils.errors import (
+    AdmissionRejected,
+    ReproError,
+    ServerDraining,
+    TimeoutExceeded,
+    ValidationError,
+)
+
+#: Longest ``sleep:<s>`` fault a debug request may inject.
+MAX_DEBUG_SLEEP = 30.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one server process (all have CLI flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    """0 = ephemeral: the kernel picks, :attr:`ReproServer.port` tells."""
+
+    workers: int = 2
+    """Worker-pool size; 1 disables the pool (serial evaluation)."""
+
+    capacity: int = 16
+    """Admission window: queued-plus-evaluating queries beyond this shed
+    with 429."""
+
+    parallel_threshold: int = 256
+    default_timeout: float | None = 60.0
+    """Per-query deadline when the request does not set one."""
+
+    max_timeout: float = 600.0
+    """Hard ceiling on any requested deadline."""
+
+    drain_grace: float = 30.0
+    """Seconds a drain waits for in-flight queries before giving up."""
+
+    microbatch: int = 8
+    """Most queries per scheduler round trip (one dispatcher wakeup may
+    issue several)."""
+
+    max_body: int = 1 << 20
+    debug_faults: bool = False
+    """Allow the ``debug`` request field (fault-injection battery)."""
+
+
+@dataclass(frozen=True)
+class _HttpResponse:
+    code: int
+    body: Any
+    """dict → JSON; str → preformatted text."""
+
+    content_type: str = "application/json"
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _Pending:
+    """One admitted request travelling loop → dispatcher → loop."""
+
+    kind: str
+    """``"query"`` or ``"explain"``."""
+
+    request: Any
+    query: ExtendedBGP
+    admitted_at: float
+    deadline_at: float | None
+    future: "asyncio.Future[_HttpResponse]"
+
+
+#: Queue sentinel ending the dispatcher loop.
+_STOP = object()
+
+
+class ReproServer:
+    """One server instance bound to one database."""
+
+    def __init__(self, db: GraphDatabase, config: ServeConfig) -> None:
+        self._db = db
+        self.config = config
+        self.metrics = ServerMetrics()
+        self.admission = AdmissionController(
+            config.capacity, parallelism=max(1, config.workers)
+        )
+        self._scheduler = QueryScheduler(
+            db,
+            workers=config.workers,
+            parallel_threshold=config.parallel_threshold,
+        )
+        # Direct route: `auto` inherits the scheduler's pool (same
+        # (db, workers) cache key) so traced requests reuse the warm
+        # workers; pinned engines are the serial strategies themselves.
+        self._auto = AutoEngine(db, workers=config.workers)
+        self._serial = {
+            engine.name: engine
+            for engine in (RingKnnEngine(db), RingKnnSEngine(db))
+        }
+        self._dispatch_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-dispatch"
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: asyncio.Queue | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher_task: asyncio.Task | None = None
+        self._shutdown_task: asyncio.Task | None = None
+        self._closed_event: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self.host = config.host
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Warm the pool, start the dispatcher, bind the socket."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._closed_event = asyncio.Event()
+        if self.config.workers >= 2:
+            # Ready means *warm*: flatten/attach happens before the
+            # first client can connect, not under it.
+            await self._loop.run_in_executor(
+                self._dispatch_pool, self._scheduler.warmup
+            )
+        self._dispatcher_task = self._loop.create_task(self._dispatch_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain; safe from signal handlers and other
+        threads, idempotent."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(self._begin_shutdown)
+
+    def _begin_shutdown(self) -> None:
+        if self._shutdown_task is None and self._loop is not None:
+            self._shutdown_task = self._loop.create_task(self.shutdown())
+
+    async def shutdown(self) -> None:
+        """Drain then tear down: the SIGTERM path."""
+        assert self._queue is not None and self._closed_event is not None
+        self.admission.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_grace
+        while self.admission.inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        # Let just-resolved responses flush before connections close.
+        await asyncio.sleep(0.05)
+        await self._queue.put(_STOP)
+        clean = True
+        if self._dispatcher_task is not None:
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(self._dispatcher_task),
+                    timeout=self.config.drain_grace,
+                )
+            except (asyncio.TimeoutError, Exception):
+                clean = False
+                self._dispatcher_task.cancel()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if clean:
+            self._dispatch_pool.shutdown(wait=True)
+        else:  # pragma: no cover - a query outlived the drain grace
+            self._dispatch_pool.shutdown(wait=False, cancel_futures=True)
+        self._scheduler.close()
+        self._closed_event.set()
+
+    async def wait_closed(self) -> None:
+        """Block until a drain has fully completed."""
+        assert self._closed_event is not None
+        await self._closed_event.wait()
+
+    # ------------------------------------------------------------------
+    # dispatcher (the only code that touches the scheduler / pool)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _batchable(item: _Pending) -> bool:
+        return (
+            item.kind == "query"
+            and item.request.engine == "auto"
+            and not item.request.trace
+            and item.request.debug is None
+        )
+
+    async def _dispatch_loop(self) -> None:
+        assert self._loop is not None and self._queue is not None
+        while True:
+            first = await self._queue.get()
+            entries = [first]
+            while True:
+                try:
+                    entries.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            stop = any(entry is _STOP for entry in entries)
+            work = [entry for entry in entries if entry is not _STOP]
+            groups: dict[Any, list[_Pending]] = {}
+            direct: list[_Pending] = []
+            for entry in work:
+                if self._batchable(entry):
+                    # Micro-batches share one `limit`: run_batch applies
+                    # a single limit to the whole batch.
+                    groups.setdefault(entry.request.limit, []).append(entry)
+                else:
+                    direct.append(entry)
+            size = max(1, self.config.microbatch)
+            for group in groups.values():
+                for start in range(0, len(group), size):
+                    await self._loop.run_in_executor(
+                        self._dispatch_pool,
+                        self._run_batched,
+                        group[start:start + size],
+                    )
+            for entry in direct:
+                await self._loop.run_in_executor(
+                    self._dispatch_pool, self._run_direct, entry
+                )
+            if stop:
+                return
+
+    def _resolve(self, item: _Pending, response: _HttpResponse) -> None:
+        """Deliver a response back to the waiting handler (thread-safe)."""
+        assert self._loop is not None
+
+        def _set() -> None:
+            if not item.future.done():
+                item.future.set_result(response)
+
+        self._loop.call_soon_threadsafe(_set)
+
+    def _recycle_pools(self) -> None:
+        """Drop the cached worker pools after an unexpected failure.
+
+        Pools are created lazily, so the next request transparently gets
+        a fresh one — a crashed worker costs one 500, not the server.
+        """
+        close_pools_for(self._db)
+
+    def _deadline_response(
+        self, item: _Pending, route: str, now: float
+    ) -> _HttpResponse:
+        elapsed = max(0.0, now - item.admitted_at)
+        self.metrics.observe_query(route, elapsed, {}, timed_out=True)
+        return _HttpResponse(
+            504,
+            protocol.error_response(
+                "TimeoutExceeded",
+                f"query deadline expired after {elapsed:.3f}s "
+                "(before evaluation finished starting)",
+                elapsed=elapsed,
+            ),
+        )
+
+    def _failure_response(self, exc: BaseException) -> _HttpResponse:
+        self.metrics.observe_error()
+        return _HttpResponse(
+            500,
+            protocol.error_response(
+                type(exc).__name__, f"internal error: {exc}"
+            ),
+        )
+
+    def _finish_result(
+        self,
+        item: _Pending,
+        result: Any,
+        route: str,
+        trace_document: Mapping[str, Any] | None,
+    ) -> None:
+        """Map a QueryResult to HTTP: flagged timeout → typed 504."""
+        body = protocol.query_response(result, route, trace=trace_document)
+        self.metrics.observe_query(
+            route, result.elapsed, body["stats"], timed_out=result.timed_out
+        )
+        if result.timed_out:
+            reason = TimeoutExceeded(result.elapsed, len(result.solutions))
+            self._resolve(
+                item,
+                _HttpResponse(
+                    504,
+                    protocol.error_response(
+                        "TimeoutExceeded",
+                        str(reason),
+                        elapsed=max(0.0, float(result.elapsed)),
+                    ),
+                ),
+            )
+            return
+        self._resolve(item, _HttpResponse(200, body))
+
+    def _run_batched(self, chunk: list[_Pending]) -> None:
+        """Evaluate one micro-batch through the scheduler (dispatch
+        thread)."""
+        now = time.monotonic()
+        live: list[_Pending] = []
+        budgets: list[float | None] = []
+        for item in chunk:
+            if item.deadline_at is not None and item.deadline_at <= now:
+                self._resolve(item, self._deadline_response(item, "batched", now))
+            else:
+                live.append(item)
+                budgets.append(
+                    None
+                    if item.deadline_at is None
+                    else max(1e-3, item.deadline_at - now)
+                )
+        if not live:
+            return
+        try:
+            results = self._scheduler.run_batch(
+                [item.query for item in live],
+                limit=live[0].request.limit,
+                timeouts=budgets,
+            )
+        except Exception as exc:
+            self._recycle_pools()
+            for item in live:
+                self._resolve(item, self._failure_response(exc))
+            return
+        for item, result in zip(live, results):
+            self._finish_result(item, result, "batched", None)
+
+    def _run_direct(self, item: _Pending) -> None:
+        """Evaluate one traced / pinned / debug / explain request
+        (dispatch thread)."""
+        route = "explain" if item.kind == "explain" else "direct"
+        now = time.monotonic()
+        if item.deadline_at is not None and item.deadline_at <= now:
+            self._resolve(item, self._deadline_response(item, route, now))
+            return
+        try:
+            if item.kind == "explain":
+                self._resolve(item, self._run_explain(item, now))
+                return
+            request = item.request
+            if request.debug is not None:
+                self._apply_debug(request.debug)
+                now = time.monotonic()
+                if item.deadline_at is not None and item.deadline_at <= now:
+                    self._resolve(
+                        item, self._deadline_response(item, route, now)
+                    )
+                    return
+            remaining = (
+                None
+                if item.deadline_at is None
+                else max(1e-3, item.deadline_at - now)
+            )
+            query_trace = (
+                QueryTrace(query=request.query) if request.trace else None
+            )
+            engine = (
+                self._auto
+                if request.engine == "auto"
+                else self._serial[request.engine]
+            )
+            result = engine.evaluate(
+                item.query,
+                timeout=remaining,
+                limit=request.limit,
+                trace=query_trace,
+            )
+            trace_document = None
+            if query_trace is not None:
+                trace_document = query_trace.to_dict()
+                validate_trace(trace_document)
+                self.metrics.observe_trace_document(trace_document)
+            self._finish_result(item, result, route, trace_document)
+        except Exception as exc:
+            self._recycle_pools()
+            self._resolve(item, self._failure_response(exc))
+
+    def _run_explain(self, item: _Pending, now: float) -> _HttpResponse:
+        request = item.request
+        remaining = (
+            None
+            if item.deadline_at is None
+            else max(1e-3, item.deadline_at - now)
+        )
+        report = explain_plan(
+            self._db,
+            item.query,
+            engine=request.engine,
+            analyze=request.analyze,
+            timeout=remaining,
+            workers=self.config.workers,
+        )
+        trace_document = None
+        analysis = report.analysis
+        if analysis is not None:
+            trace_document = analysis.to_dict()
+            validate_trace(trace_document)
+            self.metrics.observe_trace_document(trace_document)
+        body = protocol.explain_response(
+            report.engine, report.format(), trace=trace_document
+        )
+        return _HttpResponse(200, body)
+
+    def _apply_debug(self, directive: str) -> None:
+        """Execute a fault-injection directive (``debug_faults`` only)."""
+        if directive == "raise":
+            raise RuntimeError("injected inline fault (debug=raise)")
+        if directive == "worker-raise":
+            if self.config.workers >= 2:
+                pool_for(self._db, self.config.workers).run_fault_probe()
+                raise AssertionError(  # pragma: no cover - probe raises
+                    "fault probe returned without raising"
+                )
+            raise RuntimeError(
+                "injected worker fault (serial mode, no pool to probe)"
+            )
+        if directive.startswith("sleep:"):
+            try:
+                seconds = float(directive.partition(":")[2])
+            except ValueError as exc:
+                raise ValidationError(
+                    f"malformed debug directive {directive!r}"
+                ) from exc
+            time.sleep(max(0.0, min(seconds, MAX_DEBUG_SLEEP)))
+            return
+        raise ValidationError(
+            f"unknown debug directive {directive!r} "
+            "(known: raise, worker-raise, sleep:<seconds>)"
+        )
+
+    # ------------------------------------------------------------------
+    # endpoints (event loop)
+    # ------------------------------------------------------------------
+    def _gauges(self) -> dict[str, float]:
+        assert self._queue is not None
+        gauges = {
+            "inflight": float(self.admission.inflight),
+            "admission_capacity": float(self.admission.capacity),
+            "admitted_total": float(self.admission.admitted_total),
+            "shed_total": float(self.admission.shed_total),
+            "rejected_draining_total": float(
+                self.admission.rejected_draining_total
+            ),
+            "draining": 1.0 if self.admission.draining else 0.0,
+            "queue_depth": float(self._queue.qsize()),
+            "pool_workers": float(self.config.workers),
+        }
+        ewma = self.admission.service_seconds()
+        if ewma is not None:
+            gauges["service_seconds_ewma"] = float(ewma)
+        return gauges
+
+    def _health_doc(self) -> dict[str, Any]:
+        backing = self._db.store
+        return {
+            "status": "draining" if self.admission.draining else "ok",
+            "inflight": self.admission.inflight,
+            "capacity": self.admission.capacity,
+            "workers": self.config.workers,
+            "engines": ["auto", *sorted(self._serial)],
+            "store": None if backing is None else backing.describe(),
+        }
+
+    async def _handle_query(self, body: bytes) -> _HttpResponse:
+        t0 = time.monotonic()
+        try:
+            request = protocol.parse_query_request(body)
+            if request.debug is not None and not self.config.debug_faults:
+                raise ValidationError(
+                    "debug directives require --debug-faults"
+                )
+            query = parse_query(request.query)
+        except ReproError as exc:
+            return _HttpResponse(
+                400, protocol.error_response(type(exc).__name__, str(exc))
+            )
+        try:
+            self.admission.admit()
+        except AdmissionRejected as exc:
+            self.metrics.observe_shed()
+            return _HttpResponse(
+                429,
+                protocol.error_response(
+                    "AdmissionRejected", str(exc), retry_after=exc.retry_after
+                ),
+                headers={"Retry-After": str(exc.retry_after)},
+            )
+        except ServerDraining as exc:
+            return _HttpResponse(
+                503, protocol.error_response("ServerDraining", str(exc))
+            )
+        budget = (
+            request.timeout
+            if request.timeout is not None
+            else self.config.default_timeout
+        )
+        if budget is not None:
+            budget = min(float(budget), self.config.max_timeout)
+        assert self._loop is not None and self._queue is not None
+        item = _Pending(
+            kind="query",
+            request=request,
+            query=query,
+            admitted_at=t0,
+            deadline_at=None if budget is None else t0 + budget,
+            future=self._loop.create_future(),
+        )
+        try:
+            await self._queue.put(item)
+            return await item.future
+        finally:
+            self.admission.release(time.monotonic() - t0)
+
+    async def _handle_explain(self, body: bytes) -> _HttpResponse:
+        t0 = time.monotonic()
+        try:
+            request = protocol.parse_explain_request(body)
+            query = parse_query(request.query)
+        except ReproError as exc:
+            return _HttpResponse(
+                400, protocol.error_response(type(exc).__name__, str(exc))
+            )
+        try:
+            self.admission.admit()
+        except AdmissionRejected as exc:
+            self.metrics.observe_shed()
+            return _HttpResponse(
+                429,
+                protocol.error_response(
+                    "AdmissionRejected", str(exc), retry_after=exc.retry_after
+                ),
+                headers={"Retry-After": str(exc.retry_after)},
+            )
+        except ServerDraining as exc:
+            return _HttpResponse(
+                503, protocol.error_response("ServerDraining", str(exc))
+            )
+        budget = (
+            request.timeout
+            if request.timeout is not None
+            else self.config.default_timeout
+        )
+        if budget is not None:
+            budget = min(float(budget), self.config.max_timeout)
+        assert self._loop is not None and self._queue is not None
+        item = _Pending(
+            kind="explain",
+            request=request,
+            query=query,
+            admitted_at=t0,
+            deadline_at=None if budget is None else t0 + budget,
+            future=self._loop.create_future(),
+        )
+        try:
+            await self._queue.put(item)
+            return await item.future
+        finally:
+            self.admission.release(time.monotonic() - t0)
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> _HttpResponse:
+        path, _, query_string = target.partition("?")
+        if path == "/query":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            return await self._handle_query(body)
+        if path == "/explain":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            return await self._handle_explain(body)
+        if path == "/healthz":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return _HttpResponse(200, self._health_doc())
+        if path == "/metrics":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            gauges = self._gauges()
+            if "format=json" in query_string:
+                return _HttpResponse(200, self.metrics.as_dict(gauges))
+            return _HttpResponse(
+                200,
+                self.metrics.render_text(gauges),
+                content_type="text/plain; version=0.0.4",
+            )
+        return _HttpResponse(
+            404,
+            protocol.error_response(
+                "NotFound",
+                f"no endpoint {path!r} "
+                "(have: /query, /explain, /metrics, /healthz)",
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader, self.config.max_body)
+                except ValidationError as exc:
+                    await _write_response(
+                        writer,
+                        _HttpResponse(
+                            400,
+                            protocol.error_response(
+                                "ValidationError", str(exc)
+                            ),
+                        ),
+                        close=True,
+                    )
+                    break
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    ValueError,
+                ):
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                response = await self._route(method, target, body)
+                self.metrics.observe_request(target.partition("?")[0],
+                                             response.code)
+                close = (
+                    headers.get("connection", "").lower() == "close"
+                    or self.admission.draining
+                )
+                try:
+                    await _write_response(writer, response, close=close)
+                except ConnectionError:
+                    break
+                if close:
+                    break
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+
+def _method_not_allowed(allowed: str) -> _HttpResponse:
+    return _HttpResponse(
+        405,
+        protocol.error_response(
+            "MethodNotAllowed", f"method not allowed (use {allowed})"
+        ),
+        headers={"Allow": allowed},
+    )
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """Parse one HTTP/1.1 request; None at clean EOF.
+
+    Raises :class:`ValidationError` on malformed framing (mapped to a
+    400 and connection close by the caller).
+    """
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ValidationError(f"malformed request line {line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ValidationError(f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError as exc:
+        raise ValidationError("malformed Content-Length") from exc
+    if length < 0 or length > max_body:
+        raise ValidationError(
+            f"request body of {length} bytes exceeds the {max_body} limit"
+        )
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter, response: _HttpResponse, close: bool
+) -> None:
+    if isinstance(response.body, str):
+        payload = response.body.encode("utf-8")
+    else:
+        payload = (
+            json.dumps(response.body, sort_keys=True) + "\n"
+        ).encode("utf-8")
+    reason = _REASONS.get(response.code, "Unknown")
+    head = [
+        f"HTTP/1.1 {response.code} {reason}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    for name, value in response.headers.items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload)
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def run_server(
+    db: GraphDatabase,
+    config: ServeConfig,
+    announce: Callable[[str], None] | None = None,
+) -> int:
+    """Blocking entry point of ``repro serve``.
+
+    Installs SIGTERM/SIGINT handlers (main thread only) that trigger a
+    graceful drain, prints the bound address (``serving on http://...``,
+    which scripts parse to learn an ephemeral port), and returns 0 once
+    the drain completes.
+    """
+
+    def _announce(message: str) -> None:
+        if announce is not None:
+            announce(message)
+        else:
+            print(message, flush=True)
+
+    async def _amain() -> None:
+        server = ReproServer(db, config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(
+                        signum, server.request_shutdown
+                    )
+                except (NotImplementedError, RuntimeError):
+                    break  # pragma: no cover - non-unix event loop
+        _announce(
+            f"serving on http://{server.host}:{server.port} "
+            f"(workers={config.workers}, capacity={config.capacity}, "
+            f"pid={os.getpid()})"
+        )
+        await server.wait_closed()
+        _announce("drained, exiting")
+
+    asyncio.run(_amain())
+    return 0
+
+
+class ServerThread:
+    """A :class:`ReproServer` on a background thread (tests, embedding).
+
+    ``start()`` blocks until the socket is bound (and the pool warm) and
+    returns ``self``; ``shutdown()`` runs the same graceful drain the
+    SIGTERM path uses and joins the thread.
+    """
+
+    def __init__(self, db: GraphDatabase, config: ServeConfig) -> None:
+        self._db = db
+        self._config = config
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self.server: ReproServer | None = None
+        self.host = config.host
+        self.port: int | None = None
+
+    def start(self, timeout: float = 180.0) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server did not become ready in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error!r}"
+            ) from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        try:
+            server = ReproServer(self._db, self._config)
+            await server.start()
+        except BaseException as exc:  # startup failed: surface in start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.server = server
+        self.port = server.port
+        self._ready.set()
+        await server.wait_closed()
+
+    def shutdown(self, timeout: float = 120.0) -> None:
+        server = self.server
+        if server is not None:
+            server.request_shutdown()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - wedged drain
+            raise RuntimeError("server thread did not drain in time")

@@ -159,6 +159,22 @@ class IndexStore:
         """The picklable manifest pool workers attach from."""
         return self.manifest
 
+    def describe(self) -> dict:
+        """JSON-friendly summary of the mapped file (``/healthz``, CLI).
+
+        Structural facts only — nothing here touches the segment, so
+        describing a store never faults pages in.
+        """
+        return {
+            "path": self.path,
+            "kind": self.manifest.root.get("kind"),
+            "nbytes": self.nbytes,
+            "segment_bytes": self.header.segment_len,
+            "checksum": f"{self.header.checksum:#010x}",
+            "entries": len(self.manifest.entries),
+            "mapped": self._mmap is not None,
+        }
+
     def close(self) -> None:
         """Drop the attachment and the mapping.
 

@@ -51,6 +51,28 @@ class StoreEndiannessError(StoreError):
     """The index file or host violates the little-endian contract."""
 
 
+class ServeError(ReproError):
+    """Base class for long-running query-server (``repro.serve``) failures."""
+
+
+class AdmissionRejected(ServeError):
+    """The server's bounded admission queue is full; retry later.
+
+    Attributes:
+        retry_after: suggested client back-off in whole seconds, derived
+            from the observed service rate at rejection time.
+    """
+
+    def __init__(self, message: str, retry_after: int = 1) -> None:
+        super().__init__(message)
+        self.retry_after = max(1, int(retry_after))
+
+
+class ServerDraining(ServeError):
+    """The server received a shutdown signal and admits no new queries;
+    in-flight queries are drained to completion first."""
+
+
 class TimeoutExceeded(ReproError):
     """Query evaluation exceeded its time budget.
 

@@ -1,0 +1,20 @@
+# reprolint-module: repro.serve.fixture_metrics
+"""RPL003 fixture: a metrics endpoint touching obs state unguarded."""
+
+
+class LeakyMetricsEndpoint:
+    def __init__(self, registry, trace=None):
+        self._registry = registry
+        self._trace = trace
+
+    def render(self):
+        lines = []
+        # unguarded: tracing may be off (self._trace is None)
+        for label, counters in self._trace.wavelets.items():
+            lines.append(f"{label} {counters.total}")
+        return "\n".join(lines)
+
+    def render_guarded(self):
+        if self._trace is None:
+            return ""
+        return "\n".join(sorted(self._trace.wavelets.keys()))

@@ -161,6 +161,103 @@ class TestExperimentCommands:
         assert "Q1" in out and "ring-knn" in out
 
 
+class TestServeBatchErrorPaths:
+    """Typed, traceback-free failures of the batch/server commands."""
+
+    def _run(self, argv, capsys):
+        code = main(argv)
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+        return code, captured
+
+    def test_missing_query_file_is_typed_error(self, bundle_path, capsys):
+        code, captured = self._run(
+            [
+                "serve-batch", "--data", str(bundle_path),
+                "--queries", "/nonexistent/queries.txt",
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert "ValidationError" in captured.err
+        assert "cannot read query file" in captured.err
+
+    def test_malformed_query_line_is_typed_error(
+        self, bundle_path, tmp_path, capsys
+    ):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "# a comment\n"
+            "(?x, 0, ?y)\n"
+            "\n"
+            "(?x, 0, ?y) . knn(?broken\n"
+        )
+        code, captured = self._run(
+            [
+                "serve-batch", "--data", str(bundle_path),
+                "--queries", str(queries), "--workers", "1",
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert "QueryError" in captured.err
+        # points at the offending non-comment line, 1-based
+        assert "non-comment line 2" in captured.err
+        assert "knn(?broken" in captured.err
+
+    def test_missing_index_file_is_typed_error(self, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("(?x, 0, ?y)\n")
+        code, captured = self._run(
+            [
+                "serve-batch", "--from-index",
+                str(tmp_path / "missing.idx"),
+                "--queries", str(queries),
+            ],
+            capsys,
+        )
+        assert code == 2
+        # the store layer raises its own typed family for a bad path
+        assert "StoreFormatError" in captured.err
+        assert "No such file" in captured.err
+
+    def test_corrupt_index_file_is_typed_error(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.idx"
+        corrupt.write_bytes(b"this is not an index file at all")
+        queries = tmp_path / "queries.txt"
+        queries.write_text("(?x, 0, ?y)\n")
+        code, captured = self._run(
+            [
+                "serve-batch", "--from-index", str(corrupt),
+                "--queries", str(queries),
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert "Store" in captured.err  # typed Store* family
+
+    def test_serve_missing_index_is_typed_error(self, tmp_path, capsys):
+        code, captured = self._run(
+            ["serve", "--from-index", str(tmp_path / "missing.idx")],
+            capsys,
+        )
+        assert code == 2
+        assert "StoreFormatError" in captured.err
+        assert "No such file" in captured.err
+
+    def test_missing_data_bundle_is_typed_error(self, tmp_path, capsys):
+        code, captured = self._run(
+            [
+                "query", "--data", str(tmp_path / "missing.npz"),
+                "--query", "(?x, 0, ?y)",
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert "ValidationError" in captured.err
+        assert "cannot read data bundle" in captured.err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -170,4 +267,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(
                 ["query", "--data", "x", "--query", "y", "--engine", "magic"]
+            )
+
+    def test_serve_subcommand_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--from-index", "bench.idx", "--port", "8080",
+                "--workers", "4", "--capacity", "32", "--debug-faults",
+            ]
+        )
+        assert args.from_index == "bench.idx"
+        assert args.port == 8080
+        assert args.workers == 4
+        assert args.capacity == 32
+        assert args.debug_faults is True
+
+    def test_serve_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--data", "a.npz", "--from-index", "b.idx"]
             )

@@ -113,6 +113,25 @@ class TestRPL003ObsGuard:
         assert all(11 <= f.line <= 15 for f in result.findings)
 
 
+    def test_serve_package_is_in_obs_scope(self):
+        from repro.analysis.config import OBS_GUARD_PREFIXES, in_scope
+
+        assert in_scope("repro.serve.metrics", OBS_GUARD_PREFIXES)
+        result = lint_fixture("rpl003_serve_bad.py", ["RPL003"])
+        assert len(result.findings) == 1
+        assert "self._trace.wavelets" in result.findings[0].message
+        # The guarded twin of the same access must stay clean.
+        guarded_line = next(
+            i
+            for i, text in enumerate(
+                (FIXTURES / "rpl003_serve_bad.py").read_text().splitlines(),
+                1,
+            )
+            if "render_guarded" in text
+        )
+        assert all(f.line < guarded_line for f in result.findings)
+
+
 class TestRPL004Determinism:
     def test_flags_each_nondeterminism_kind(self):
         result = lint_fixture("rpl004_bad.py", ["RPL004"])
@@ -155,6 +174,11 @@ class TestRPL005EngineContract:
         result = lint_fixture("rpl005_parallel_bad.py", ["RPL005"])
         assert len(result.findings) == 1
         assert "RogueShardEngine" in result.findings[0].message
+
+    def test_serve_package_is_in_engine_scope(self):
+        from repro.analysis.config import ENGINE_MODULE_PREFIXES, in_scope
+
+        assert in_scope("repro.serve.app", ENGINE_MODULE_PREFIXES)
 
 
 class TestRPL006StrictTyping:

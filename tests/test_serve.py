@@ -1,0 +1,515 @@
+"""End-to-end battery for the ``repro serve`` query server.
+
+One module-scoped server runs against a **store-backed** database (the
+golden Figure-2 bundle saved with ``repro.store.save`` and reopened via
+``GraphDatabase.from_index``) — the deployment shape ``repro serve
+--from-index`` uses. Before the server boots, the same queries are
+evaluated with the serial engines on the built database; the battery
+then asserts the HTTP responses are **byte-identical** to those serial
+references:
+
+* plain ``/query`` (auto engine, batched through the scheduler) returns
+  the serial solutions in the serial enumeration order;
+* traced, engine-pinned ``/query`` returns the exact serial trace
+  document (op counts included) minus only the wall-time/metadata keys
+  the parallel suite also excludes;
+* concurrent clients each get *their own* query's answer back.
+
+The wire protocol is pinned separately: Hypothesis round-trips request
+documents through ``parse_*`` / ``to_dict`` against the schemas, so
+the JSON surface cannot drift from its documented contract.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from http.client import HTTPConnection
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import _build
+from repro.engines.auto import AutoEngine
+from repro.engines.database import GraphDatabase
+from repro.engines.ring_knn import RingKnnEngine
+from repro.obs import QueryTrace
+from repro.parallel.executor import shutdown_pools
+from repro.query.model import (
+    DEFAULT_RELATION,
+    ExtendedBGP,
+    is_var,
+)
+from repro.query.parser import parse_query
+from repro.serve import protocol
+from repro.serve.app import ReproServer, ServeConfig, ServerThread
+from repro.store import save
+from tests.test_golden_opcounts import CONFIG
+from tests.test_parallel_shm import _comparable
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def _term_text(term) -> str:
+    return f"?{term.name}" if is_var(term) else str(int(term))
+
+
+def _query_text(query: ExtendedBGP) -> str:
+    """Serialize a workload query back into the textual grammar.
+
+    The fixture asserts the round trip (``parse_query(_query_text(q)) ==
+    q``) so the server evaluates *exactly* the query the serial
+    reference ran.
+    """
+    atoms = [
+        f"({_term_text(t.s)}, {_term_text(t.p)}, {_term_text(t.o)})"
+        for t in query.triples
+    ]
+    for clause in query.clauses:
+        tag = (
+            ""
+            if clause.relation == DEFAULT_RELATION
+            else f":{clause.relation}"
+        )
+        atoms.append(
+            f"knn{tag}({_term_text(clause.x)}, {_term_text(clause.y)}, "
+            f"{clause.k})"
+        )
+    for dist in query.dist_clauses:
+        atoms.append(
+            f"dist({_term_text(dist.x)}, {_term_text(dist.y)}, {dist.d})"
+        )
+    return " . ".join(atoms)
+
+
+def _request(host: str, port: int, method: str, path: str, payload=None):
+    """One HTTP exchange; returns ``(status, headers, decoded body)``."""
+    conn = HTTPConnection(host, port, timeout=120)
+    try:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        content_type = response.headers.get("Content-Type", "")
+        decoded = (
+            json.loads(raw)
+            if content_type.startswith("application/json")
+            else raw.decode("utf-8")
+        )
+        return response.status, dict(response.headers), decoded
+    finally:
+        conn.close()
+
+
+def _post(handle, path: str, payload):
+    return _request(handle.host, handle.port, "POST", path, payload)
+
+
+def _get(handle, path: str):
+    return _request(handle.host, handle.port, "GET", path)
+
+
+# ----------------------------------------------------------------------
+# the golden fixture: serial references + a store-backed server
+# ----------------------------------------------------------------------
+
+
+class _Golden:
+    def __init__(self, handle, cases, store_path):
+        self.handle = handle
+        self.cases = cases
+        """List of ``(family, text, auto_solutions, serial_solutions,
+        serial_trace_doc)`` — encoded solutions, comparable trace."""
+
+        self.store_path = store_path
+
+
+@pytest.fixture(scope="module")
+def golden(tmp_path_factory):
+    db, workload = _build(CONFIG)
+    queries = [
+        (family, query)
+        for family, family_queries in sorted(workload.items())
+        for query in family_queries
+    ]
+
+    # Serial references on the *built* database, before any server.
+    auto_serial = AutoEngine(db)  # workers=1: serial strategy selection
+    ring = RingKnnEngine(db)
+    cases = []
+    for family, query in queries:
+        text = _query_text(query)
+        assert parse_query(text) == query, (
+            f"query text round-trip failed for {family}: {text!r}"
+        )
+        auto_solutions = protocol.encode_solutions(
+            auto_serial.evaluate(query).solutions
+        )
+        trace = QueryTrace(query=text)
+        serial = ring.evaluate(query, trace=trace)
+        cases.append(
+            (
+                family,
+                text,
+                auto_solutions,
+                protocol.encode_solutions(serial.solutions),
+                _comparable(trace),
+            )
+        )
+
+    # The served database is store-backed: save + mmap reopen.
+    store_path = str(tmp_path_factory.mktemp("serve") / "figure2.idx")
+    save(db, store_path)
+    served_db = GraphDatabase.from_index(store_path)
+
+    handle = ServerThread(
+        served_db,
+        ServeConfig(workers=2, capacity=64, default_timeout=120.0),
+    ).start()
+    try:
+        yield _Golden(handle, cases, store_path)
+    finally:
+        handle.shutdown()
+        shutdown_pools()
+
+
+# ----------------------------------------------------------------------
+# health + metrics surface
+# ----------------------------------------------------------------------
+
+
+class TestOperationalEndpoints:
+    def test_healthz_reports_store_backing(self, golden):
+        status, _headers, body = _get(golden.handle, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["workers"] == 2
+        assert body["engines"] == ["auto", "ring-knn", "ring-knn-s"]
+        store = body["store"]
+        assert store is not None, "server must report its mmap backing"
+        assert store["path"].endswith("figure2.idx")
+        assert store["mapped"] is True
+        assert store["nbytes"] > 0
+
+    def test_metrics_json_counters_advance(self, golden):
+        _, _, before = _get(golden.handle, "/metrics?format=json")
+        status, _, body = _post(
+            golden.handle, "/query", {"query": golden.cases[0][1]}
+        )
+        assert status == 200
+        _, _, after = _get(golden.handle, "/metrics?format=json")
+        assert after["queries"]["ok"] >= before["queries"]["ok"] + 1
+        assert after["requests"].get("/query 200", 0) >= 1
+        assert after["gauges"]["admission_capacity"] == 64.0
+        assert after["engine_stats"]["solutions"] >= len(
+            golden.cases[0][2]
+        )
+
+    def test_metrics_text_exposition(self, golden):
+        status, headers, text = _get(golden.handle, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "repro_queries_total" in text
+        assert "repro_uptime_seconds" in text
+        # every sample line is `name{labels} value` or `name value`
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            name, _, value = line.rpartition(" ")
+            assert name and float(value) is not None
+
+    def test_unknown_path_404_and_method_405(self, golden):
+        status, _, body = _get(golden.handle, "/nope")
+        assert status == 404
+        protocol.validate_error_response(body)
+        status, headers, body = _get(golden.handle, "/query")
+        assert status == 405
+        assert headers["Allow"] == "POST"
+        protocol.validate_error_response(body)
+
+
+# ----------------------------------------------------------------------
+# byte-identical golden workload through the server
+# ----------------------------------------------------------------------
+
+
+class TestGoldenWorkload:
+    def test_solutions_byte_identical_to_serial(self, golden):
+        """Every Figure-2 query served (batched route) returns the
+        serial engine's solutions in the serial enumeration order."""
+        for family, text, auto_solutions, _serial, _doc in golden.cases:
+            status, _, body = _post(
+                golden.handle, "/query", {"query": text}
+            )
+            assert status == 200, (family, body)
+            protocol.validate_query_response(body)
+            assert body["route"] == "batched"
+            assert body["timed_out"] is False
+            assert body["solutions"] == auto_solutions, (
+                f"{family}: served solutions diverged from serial "
+                f"reference for {text!r}"
+            )
+            assert body["stats"]["solutions"] == len(auto_solutions)
+
+    def test_traced_opcounts_byte_identical_to_serial(self, golden):
+        """Pinned + traced requests reproduce the serial trace document
+        exactly — logical op counts included."""
+        for family, text, _auto, serial_solutions, serial_doc in golden.cases:
+            status, _, body = _post(
+                golden.handle,
+                "/query",
+                {"query": text, "engine": "ring-knn", "trace": True},
+            )
+            assert status == 200, (family, body)
+            protocol.validate_query_response(body)
+            assert body["route"] == "direct"
+            assert body["engine"] == "ring-knn"
+            assert body["solutions"] == serial_solutions
+            served_doc = {
+                key: value
+                for key, value in body["trace"].items()
+                if key not in {"elapsed", "phases", "meta", "engine"}
+            }
+            assert served_doc == serial_doc, (
+                f"{family}: served trace diverged for {text!r}"
+            )
+
+    def test_concurrent_clients_get_their_own_answers(self, golden):
+        """N clients fire distinct queries at once; each response must
+        correspond to *that* client's query."""
+        cases = golden.cases
+        barrier = threading.Barrier(len(cases))
+
+        def client(case):
+            family, text, auto_solutions, _serial, _doc = case
+            barrier.wait(timeout=60)
+            status, _, body = _post(
+                golden.handle, "/query", {"query": text}
+            )
+            return family, status, body, auto_solutions
+
+        with ThreadPoolExecutor(max_workers=len(cases)) as pool:
+            outcomes = list(pool.map(client, cases))
+        for family, status, body, auto_solutions in outcomes:
+            assert status == 200, (family, body)
+            assert body["solutions"] == auto_solutions, (
+                f"{family}: concurrent response was not this client's "
+                "answer"
+            )
+
+    def test_limit_is_applied(self, golden):
+        family, text, _auto, serial_solutions, _doc = max(
+            golden.cases, key=lambda case: len(case[3])
+        )
+        if len(serial_solutions) < 2:
+            pytest.skip("workload produced no multi-solution query")
+        # Pin the serial engine: with a limit the answer must be the
+        # exact prefix of the serial enumeration order.
+        status, _, body = _post(
+            golden.handle,
+            "/query",
+            {"query": text, "limit": 1, "engine": "ring-knn"},
+        )
+        assert status == 200, (family, body)
+        assert len(body["solutions"]) == 1
+        assert body["solutions"][0] == serial_solutions[0]
+
+    def test_explain_endpoint_with_analysis(self, golden):
+        _family, text, *_rest = golden.cases[0]
+        status, _, body = _post(
+            golden.handle, "/explain", {"query": text, "analyze": True}
+        )
+        assert status == 200, body
+        protocol.validate_explain_response(body)
+        assert body["engine"] == "ring-knn"
+        assert "plan" in body["report"]
+        assert body["trace"] is not None
+
+
+# ----------------------------------------------------------------------
+# request validation over the wire
+# ----------------------------------------------------------------------
+
+
+class TestRequestValidation:
+    def test_malformed_query_text_is_typed_400(self, golden):
+        status, _, body = _post(golden.handle, "/query", {"query": "(?x"})
+        assert status == 400
+        protocol.validate_error_response(body)
+        assert body["error"]["type"] == "QueryError"
+
+    def test_unknown_field_rejected(self, golden):
+        status, _, body = _post(
+            golden.handle, "/query", {"query": "(?x, 0, ?y)", "turbo": 1}
+        )
+        assert status == 400
+        assert "turbo" in body["error"]["message"]
+
+    def test_unknown_engine_rejected(self, golden):
+        status, _, body = _post(
+            golden.handle,
+            "/query",
+            {"query": "(?x, 0, ?y)", "engine": "baseline"},
+        )
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+
+    def test_non_json_body_rejected(self, golden):
+        conn = HTTPConnection(golden.handle.host, golden.handle.port,
+                              timeout=30)
+        try:
+            conn.request("POST", "/query", body=b"not json at all")
+            response = conn.getresponse()
+            body = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert body["error"]["type"] == "ValidationError"
+
+    def test_debug_requires_flag(self, golden):
+        """The fixture server runs without --debug-faults: directives
+        must be rejected before admission."""
+        status, _, body = _post(
+            golden.handle,
+            "/query",
+            {"query": "(?x, 0, ?y)", "debug": "raise"},
+        )
+        assert status == 400
+        assert "--debug-faults" in body["error"]["message"]
+
+
+# ----------------------------------------------------------------------
+# wire-protocol round trips (no server involved)
+# ----------------------------------------------------------------------
+
+_QUERY_REQUEST_DOCS = st.fixed_dictionaries(
+    {"query": st.text(min_size=1, max_size=80)},
+    optional={
+        "engine": st.sampled_from(protocol.SERVE_ENGINES),
+        "timeout": st.one_of(
+            st.none(),
+            st.floats(min_value=0, max_value=1e6, allow_nan=False,
+                      allow_infinity=False),
+        ),
+        "limit": st.one_of(st.none(), st.integers(min_value=0,
+                                                  max_value=10**6)),
+        "trace": st.booleans(),
+        "debug": st.one_of(st.none(), st.text(max_size=20)),
+    },
+)
+
+_EXPLAIN_REQUEST_DOCS = st.fixed_dictionaries(
+    {"query": st.text(min_size=1, max_size=80)},
+    optional={
+        "engine": st.sampled_from(("ring-knn", "ring-knn-s",
+                                   "parallel-knn")),
+        "analyze": st.booleans(),
+        "timeout": st.one_of(
+            st.none(),
+            st.floats(min_value=0, max_value=1e6, allow_nan=False,
+                      allow_infinity=False),
+        ),
+    },
+)
+
+
+class TestProtocolRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(document=_QUERY_REQUEST_DOCS)
+    def test_query_request_round_trip(self, document):
+        """bytes → parse → to_dict → parse is a fixed point, and the
+        canonical form validates against the request schema."""
+        request = protocol.parse_query_request(
+            json.dumps(document).encode("utf-8")
+        )
+        canonical = request.to_dict()
+        from repro.obs.schema import validate_document
+
+        validate_document(canonical, protocol.QUERY_REQUEST_SCHEMA, "$")
+        again = protocol.parse_query_request(json.dumps(canonical))
+        assert again == request
+        assert again.to_dict() == canonical
+        # defaults are exactly the documented ones
+        for field, default in (
+            ("engine", "auto"), ("timeout", None), ("limit", None),
+            ("trace", False), ("debug", None),
+        ):
+            if field not in document:
+                assert canonical[field] == default
+
+    @settings(max_examples=200, deadline=None)
+    @given(document=_EXPLAIN_REQUEST_DOCS)
+    def test_explain_request_round_trip(self, document):
+        request = protocol.parse_explain_request(
+            json.dumps(document).encode("utf-8")
+        )
+        canonical = request.to_dict()
+        from repro.obs.schema import validate_document
+
+        validate_document(canonical, protocol.EXPLAIN_REQUEST_SCHEMA, "$")
+        again = protocol.parse_explain_request(json.dumps(canonical))
+        assert again == request
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        error_type=st.text(min_size=1, max_size=40),
+        message=st.text(max_size=200),
+        retry_after=st.one_of(st.none(),
+                              st.integers(min_value=1, max_value=60)),
+    )
+    def test_error_response_always_validates(
+        self, error_type, message, retry_after
+    ):
+        extra = {} if retry_after is None else {"retry_after": retry_after}
+        body = protocol.error_response(error_type, message, **extra)
+        protocol.validate_error_response(body)
+        rebuilt = json.loads(json.dumps(body))
+        protocol.validate_error_response(rebuilt)
+        assert rebuilt["error"]["type"] == error_type
+
+    @settings(max_examples=100, deadline=None)
+    @given(junk=st.text(max_size=40))
+    def test_parse_never_leaks_untyped_errors(self, junk):
+        """Arbitrary bytes either parse or raise the typed error —
+        never KeyError/TypeError."""
+        from repro.utils.errors import ValidationError
+
+        try:
+            protocol.parse_query_request(junk.encode("utf-8"))
+        except ValidationError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# server lifecycle without the golden fixture
+# ----------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_double_shutdown_is_idempotent(self, tmp_path):
+        db, _workload = _build(CONFIG)
+        handle = ServerThread(
+            db, ServeConfig(workers=1, capacity=4)
+        ).start()
+        try:
+            status, _, body = _get(handle, "/healthz")
+            assert status == 200 and body["status"] == "ok"
+        finally:
+            handle.shutdown()
+        # a second shutdown must be a no-op, not an error
+        handle.shutdown()
+        shutdown_pools()
+
+    def test_server_object_exposes_bound_port(self, golden):
+        server = golden.handle.server
+        assert isinstance(server, ReproServer)
+        assert server.port == golden.handle.port
+        assert server.port != 0

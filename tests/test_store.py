@@ -58,7 +58,6 @@ from repro.utils.errors import (
     StoreEndiannessError,
     StoreFormatError,
     StoreVersionError,
-    ValidationError,
 )
 from tests.test_golden_opcounts import CONFIG
 from tests.test_parallel_shm import (
@@ -490,12 +489,15 @@ def test_cli_from_index_rejects_graph_engines(tmp_path, capsys):
     assert main(["generate", "--out", bundle, *scale]) == 0
     assert main(["build", "--data", bundle, "--out", index]) == 0
     capsys.readouterr()
-    with pytest.raises(ValidationError, match="raw graph tables"):
-        main(
-            [
-                "query",
-                "--from-index", index,
-                "--engine", "baseline",
-                "--query", "(?x, 0, ?y)",
-            ]
-        )
+    # main() maps the typed error to exit code 2 + a one-line message.
+    code = main(
+        [
+            "query",
+            "--from-index", index,
+            "--engine", "baseline",
+            "--query", "(?x, 0, ?y)",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "ValidationError" in err and "raw graph tables" in err
