@@ -27,15 +27,28 @@ import time
 
 import pytest
 
+import numpy as np
+
 from benchmarks.conftest import QUERY_TIMEOUT, write_results
 from repro.bench.harness import usable_cores
+from repro.knn.distance_index import DistanceRangeIndex
 from repro.parallel.scheduler import QueryScheduler
+from repro.parallel.shm import StructureShm, attach, prime_hot_caches
 
 WORKER_COUNTS = (1, 2, 4)
 
 #: Ceiling on steady-state time relative to serial when too few cores
 #: exist for real parallelism (covers per-worker cold caches + IPC).
 MAX_SINGLE_CORE_OVERHEAD = 1.6
+
+#: Ceiling on the shm-attached leap_within loop relative to the built
+#: structure. The attached views are numpy arrays over the shared
+#: buffer; any regression that routes a hot-path lookup through them
+#: (instead of the plain-scalar ``_*_i`` mirrors) re-enters numpy
+#: dispatch per probe and measured at 1.07-1.09x before the mirrors
+#: covered ``_distances``. Parity now measures ~1.01x; the bound is
+#: generous for timer noise while still catching a scalar-leak relapse.
+MAX_ATTACHED_LEAP_RATIO = 1.3
 
 _collected: dict[str, dict] = {}
 
@@ -150,3 +163,59 @@ def test_parallel_scaling_report(database, workload):
     text = "\n".join(lines)
     write_results("parallel_scaling", text)
     print(text)
+
+
+def _leap_sweep(index, members, d):
+    # Every member leaps from every third candidate value — the same
+    # probe mix the LTJ intersection generates, minus the engine.
+    out = 0
+    started = time.perf_counter()
+    for u in members:
+        for lower in range(0, len(members), 3):
+            v = index.leap_within(u, d, lower)
+            if v is not None:
+                out += v
+    return time.perf_counter() - started, out
+
+
+def test_parallel_attached_leap_parity(benchmark):
+    rng = np.random.default_rng(11)
+    points = rng.normal(size=(300, 8))
+    d_max = 4.0
+    built = DistanceRangeIndex(points, d_max)
+    members = built.members.tolist()
+
+    owner = StructureShm.create(built)
+    attached_handle = attach(owner.manifest)
+    attached = attached_handle.structure
+    try:
+        prime_hot_caches(attached)
+        d = d_max * 0.75
+        _leap_sweep(built, members, d)  # warm both before timing
+        _leap_sweep(attached, members, d)
+        built_s, built_sum = _leap_sweep(built, members, d)
+        attached_s, attached_sum = benchmark.pedantic(
+            lambda: _leap_sweep(attached, members, d), rounds=1, iterations=1
+        )
+        assert attached_sum == built_sum, (
+            "shm-attached DistanceRangeIndex changed leap_within results"
+        )
+        ratio = attached_s / built_s if built_s > 0 else 0.0
+        benchmark.extra_info.update(
+            {
+                "built_leap_s": built_s,
+                "attached_leap_s": attached_s,
+                "attached_vs_built": ratio,
+            }
+        )
+        assert ratio <= MAX_ATTACHED_LEAP_RATIO, (
+            f"attached leap_within ran {ratio:.2f}x of built — a hot-path "
+            "lookup is bypassing the plain-scalar mirrors and re-entering "
+            "numpy dispatch per probe"
+        )
+    finally:
+        # Rebind before unmapping: the pedantic lambda's closure cell
+        # would otherwise keep views into the segment alive past close.
+        attached = None
+        attached_handle.close()
+        owner.close()

@@ -7,9 +7,11 @@ be bumped before memo lookups so traced op counts stay deterministic,
 observability must be zero-overhead when disabled, the traced pass must
 be bit-for-bit reproducible, and every engine must honour the relation
 and result contracts. ``repro.analysis`` turns those conventions into
-machine-checked rules (RPL001-RPL007) run as ``repro lint`` and as a CI
+machine-checked rules (RPL001-RPL010) run as ``repro lint`` and as a CI
 gate — see ``docs/static-analysis.md`` for the rule catalogue and the
-invariant each protects.
+invariant each protects. RPL008-RPL010 are flow-sensitive: they run on
+the per-function CFGs of :mod:`repro.analysis.cfg` via the forward
+dataflow engine in :mod:`repro.analysis.dataflow`.
 
 Public API::
 
@@ -28,6 +30,7 @@ from repro.analysis.core import (
     Project,
     format_findings,
     format_json,
+    format_sarif,
     lint,
 )
 from repro.analysis.rules import ALL_RULES, get_rules, rule_catalog
@@ -40,6 +43,7 @@ __all__ = [
     "lint",
     "format_findings",
     "format_json",
+    "format_sarif",
     "ALL_RULES",
     "get_rules",
     "rule_catalog",

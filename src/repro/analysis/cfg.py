@@ -1,0 +1,378 @@
+"""Per-function control-flow graphs for the flow-sensitive lint tier.
+
+``build_cfg`` turns one ``ast`` function body into a small statement-level
+CFG: one node per statement header, plus synthetic ``ENTRY``/``EXIT``/
+``RAISE`` nodes and a ``WithExit`` node per ``with`` statement (the
+``__exit__`` call, where context-managed resources are released). The
+graph is deliberately conservative — it exists so the dataflow rules
+(RPL008-RPL010) can reason about *paths*, including the exceptional
+ones today's pattern rules cannot see:
+
+- Any statement whose header contains a call, a ``raise``, or an
+  ``assert`` grows an exception edge to the innermost handler — each
+  ``except`` clause of the enclosing ``try``, then the enclosing
+  ``finally`` region (exceptions run it before propagating), and
+  ``RAISE`` at the top level.
+- ``finally`` bodies are built once and shared by every continuation
+  (normal fall-through, exception propagation, ``return``/``break``/
+  ``continue`` routed through them). Sharing merges paths, which can
+  only over-approximate reachability — safe for the may-leak analyses
+  built on top.
+- ``with`` statements desugar to the same frame machinery as
+  ``try/finally``: body exceptions and early exits route through the
+  ``WithExit`` node, which rules treat as the release point of the
+  context-managed resources.
+- Loop back edges (body end to header) carry the ``loop`` kind;
+  ``while``/``for`` ``else`` clauses hang off the header's normal exit
+  and are skipped by ``break`` (which targets the statement *after*
+  the whole loop).
+
+``cfg_shape`` renders the graph as deterministic text for the golden
+fixtures under ``tests/lint_fixtures/`` — construction must never
+depend on dict/set iteration order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: Edge kinds, in the order they render in golden shapes.
+EDGE_KINDS = ("next", "loop", "except", "return", "break", "continue")
+
+
+@dataclass(frozen=True)
+class CFGNode:
+    """One CFG node: a statement header or a synthetic marker."""
+
+    index: int
+    label: str
+    stmt: ast.stmt | None = None
+    line: int = 0
+
+    def render(self) -> str:
+        if self.line:
+            return f"{self.index} {self.label} L{self.line}"
+        return f"{self.index} {self.label}"
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph of one function."""
+
+    func: FunctionNode
+    nodes: list[CFGNode] = field(default_factory=list)
+    edges: set[tuple[int, int, str]] = field(default_factory=set)
+    entry: int = 0
+    exit: int = 1
+    raise_exit: int = 2
+
+    def successors(self, index: int) -> list[tuple[int, str]]:
+        """Outgoing ``(node, kind)`` pairs, deterministically ordered."""
+        return sorted(
+            (dst, kind) for src, dst, kind in self.edges if src == index
+        )
+
+    def node_for(self, stmt: ast.stmt) -> CFGNode | None:
+        """The node whose header is ``stmt`` (None for unreached code)."""
+        for node in self.nodes:
+            if node.stmt is stmt and not node.label.startswith("WithExit"):
+                return node
+        return None
+
+    def with_exit_for(self, stmt: ast.With | ast.AsyncWith) -> CFGNode | None:
+        for node in self.nodes:
+            if node.stmt is stmt and node.label.startswith("WithExit"):
+                return node
+        return None
+
+
+@dataclass
+class _FinallyFrame:
+    """An enclosing ``finally`` region (or ``with`` exit) on the stack."""
+
+    entry: int
+    exit_preds: list[tuple[int, str]]
+    # Continuations routed through this finally by early exits in its
+    # try body; resolved when the owning Try/With finishes building.
+    pending: list[str] = field(default_factory=list)
+    is_loop: bool = False  # loop frames share the stack for routing
+
+
+@dataclass
+class _LoopFrame(_FinallyFrame):
+    header: int = -1
+    breaks: list[int] = field(default_factory=list)
+    is_loop: bool = True
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.cfg = CFG(func=func)
+        self._add_node("ENTRY")
+        self._add_node("EXIT")
+        self._add_node("RAISE")
+        # Innermost-last stacks: exception landing targets, and the
+        # combined finally/loop frame stack used to route early exits.
+        self._exc_stack: list[list[int]] = [[self.cfg.raise_exit]]
+        self._frames: list[_FinallyFrame] = []
+
+    # ------------------------------------------------------------------
+    # graph primitives
+    # ------------------------------------------------------------------
+    def _add_node(
+        self, label: str, stmt: ast.stmt | None = None, line: int = 0
+    ) -> int:
+        index = len(self.cfg.nodes)
+        self.cfg.nodes.append(CFGNode(index, label, stmt, line))
+        return index
+
+    def _edge(self, src: int, dst: int, kind: str = "next") -> None:
+        self.cfg.edges.add((src, dst, kind))
+
+    def _connect(self, preds: list[tuple[int, str]], dst: int) -> None:
+        for src, kind in preds:
+            self._edge(src, dst, kind)
+
+    # ------------------------------------------------------------------
+    # exception edges
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _header_exprs(stmt: ast.stmt) -> list[ast.AST]:
+        """The expressions evaluated by ``stmt``'s own node (not its
+        nested statement blocks)."""
+        if isinstance(stmt, (ast.If, ast.While)):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter, stmt.target]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in stmt.items]
+        if isinstance(stmt, ast.Match):
+            return [stmt.subject]
+        if isinstance(stmt, ast.Try):
+            return []
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return list(stmt.decorator_list)
+        return [stmt]
+
+    @classmethod
+    def _can_raise(cls, stmt: ast.stmt) -> bool:
+        if isinstance(stmt, (ast.Raise, ast.Assert)):
+            return True
+        for root in cls._header_exprs(stmt):
+            for node in ast.walk(root):
+                if isinstance(node, (ast.Call, ast.Raise, ast.Assert)):
+                    return True
+        return False
+
+    def _exception_edges(self, node: int, stmt: ast.stmt) -> None:
+        if not self._can_raise(stmt):
+            return
+        for target in self._exc_stack[-1]:
+            self._edge(node, target, "except")
+
+    # ------------------------------------------------------------------
+    # early-exit routing (return / break / continue through finallys)
+    # ------------------------------------------------------------------
+    def _route_early_exit(self, node: int, kind: str) -> None:
+        """Route ``return``/``break``/``continue`` from ``node`` through
+        any enclosing finally regions to its ultimate target."""
+        for frame in reversed(self._frames):
+            if kind in ("break", "continue") and frame.is_loop:
+                loop = frame
+                assert isinstance(loop, _LoopFrame)
+                if kind == "break":
+                    loop.breaks.append(node)
+                else:
+                    self._edge(node, loop.header, "continue")
+                return
+            if not frame.is_loop:
+                self._edge(node, frame.entry, kind)
+                frame.pending.append(kind)
+                return
+        # No enclosing finally (for return) / malformed break: to EXIT.
+        if kind == "return":
+            self._edge(node, self.cfg.exit, "return")
+
+    def _resolve_pending(self, frame: _FinallyFrame) -> None:
+        """After a finally region is fully built, connect its exit to
+        the continuation of every early exit that was routed through."""
+        for kind in sorted(set(frame.pending)):
+            for src, _ in frame.exit_preds:
+                self._route_early_exit(src, kind)
+
+    # ------------------------------------------------------------------
+    # statement dispatch
+    # ------------------------------------------------------------------
+    def build(self) -> CFG:
+        preds = self._body(
+            self.cfg.func.body, [(self.cfg.entry, "next")]
+        )
+        self._connect(preds, self.cfg.exit)
+        return self.cfg
+
+    def _body(
+        self, stmts: list[ast.stmt], preds: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        for stmt in stmts:
+            preds = self._statement(stmt, preds)
+        return preds
+
+    def _statement(
+        self, stmt: ast.stmt, preds: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        label = type(stmt).__name__
+        node = self._add_node(label, stmt, stmt.lineno)
+        self._connect(preds, node)
+        self._exception_edges(node, stmt)
+
+        if isinstance(stmt, ast.Return):
+            self._route_early_exit(node, "return")
+            return []
+        if isinstance(stmt, ast.Break):
+            self._route_early_exit(node, "break")
+            return []
+        if isinstance(stmt, ast.Continue):
+            self._route_early_exit(node, "continue")
+            return []
+        if isinstance(stmt, ast.Raise):
+            return []
+        if isinstance(stmt, ast.If):
+            then_out = self._body(stmt.body, [(node, "next")])
+            else_out = (
+                self._body(stmt.orelse, [(node, "next")])
+                if stmt.orelse
+                else [(node, "next")]
+            )
+            return then_out + else_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, node)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, node)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, node)
+        # Simple statement (or nested def/class, treated opaquely).
+        return [(node, "next")]
+
+    # ------------------------------------------------------------------
+    # compound statements
+    # ------------------------------------------------------------------
+    def _loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, header: int
+    ) -> list[tuple[int, str]]:
+        frame = _LoopFrame(entry=-1, exit_preds=[], header=header)
+        self._frames.append(frame)
+        body_out = self._body(stmt.body, [(header, "next")])
+        self._frames.pop()
+        for src, _ in body_out:
+            self._edge(src, header, "loop")
+        # Normal exhaustion falls through the header — into ``else`` if
+        # present (``break`` skips it), then past the loop.
+        after: list[tuple[int, str]] = (
+            self._body(stmt.orelse, [(header, "next")])
+            if stmt.orelse
+            else [(header, "next")]
+        )
+        after.extend((src, "break") for src in frame.breaks)
+        return after
+
+    def _with(
+        self, stmt: ast.With | ast.AsyncWith, header: int
+    ) -> list[tuple[int, str]]:
+        with_exit = self._add_node("WithExit", stmt, stmt.lineno)
+        frame = _FinallyFrame(
+            entry=with_exit, exit_preds=[(with_exit, "next")]
+        )
+        # Body exceptions run ``__exit__`` before propagating.
+        self._exc_stack.append([with_exit])
+        self._frames.append(frame)
+        body_out = self._body(stmt.body, [(header, "next")])
+        self._frames.pop()
+        self._exc_stack.pop()
+        self._connect(body_out, with_exit)
+        # Exceptional continuation: __exit__ may re-raise outward.
+        for target in self._exc_stack[-1]:
+            self._edge(with_exit, target, "except")
+        self._resolve_pending(frame)
+        return [(with_exit, "next")]
+
+    def _try(self, stmt: ast.Try, header: int) -> list[tuple[int, str]]:
+        out: list[tuple[int, str]] = []
+        frame: _FinallyFrame | None = None
+        if stmt.finalbody:
+            # The finally region is built once, in the *outer* context
+            # (its own exceptions propagate outward), and shared by all
+            # continuations.
+            fin_entry = self._add_node(
+                "Finally", None, stmt.finalbody[0].lineno
+            )
+            fin_out = self._body(
+                stmt.finalbody, [(fin_entry, "next")]
+            )
+            frame = _FinallyFrame(entry=fin_entry, exit_preds=fin_out)
+            self._frames.append(frame)
+            # Exception propagation resumes after the finally runs.
+            for target in self._exc_stack[-1]:
+                for src, _ in fin_out:
+                    self._edge(src, target, "except")
+
+        handler_nodes: list[int] = []
+        for handler in stmt.handlers:
+            handler_nodes.append(
+                self._add_node("ExceptHandler", None, handler.lineno)
+            )
+        # Exceptions in the try body land on each handler; if none
+        # matches (or there are no handlers), they run the finally.
+        body_targets = list(handler_nodes)
+        if frame is not None:
+            body_targets.append(frame.entry)
+        elif not handler_nodes:
+            body_targets.extend(self._exc_stack[-1])
+
+        self._exc_stack.append(body_targets)
+        body_out = self._body(stmt.body, [(header, "next")])
+        self._exc_stack.pop()
+
+        # else-clause and handler bodies are outside the handlers'
+        # protection: their exceptions run the finally (if any) before
+        # propagating to the outer context.
+        post_body_exc = (
+            [frame.entry] if frame is not None else self._exc_stack[-1]
+        )
+        self._exc_stack.append(post_body_exc)
+        # else-clause runs only after a clean body.
+        if stmt.orelse:
+            body_out = self._body(stmt.orelse, body_out)
+        out.extend(body_out)
+        for handler, h_node in zip(stmt.handlers, handler_nodes):
+            out.extend(self._body(handler.body, [(h_node, "next")]))
+        self._exc_stack.pop()
+
+        if frame is not None:
+            self._frames.pop()
+            self._connect(out, frame.entry)
+            self._resolve_pending(frame)
+            return list(frame.exit_preds)
+        return out
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the statement-level CFG of one function definition."""
+    return _Builder(func).build()
+
+
+def cfg_shape(cfg: CFG) -> str:
+    """Deterministic text rendering of a CFG (golden-fixture format)."""
+    lines = [f"cfg {cfg.func.name}"]
+    lines.extend(node.render() for node in cfg.nodes)
+    lines.append("edges:")
+    order = {kind: rank for rank, kind in enumerate(EDGE_KINDS)}
+    for src, dst, kind in sorted(
+        cfg.edges, key=lambda e: (e[0], e[1], order.get(e[2], 99))
+    ):
+        lines.append(f"{src} -> {dst} {kind}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,131 @@
+"""A small forward-dataflow engine over the per-function CFGs.
+
+The solver is a classic gen/kill worklist over :class:`~repro.analysis.
+cfg.CFG` nodes with set-union join — a *may* analysis: a fact holds at
+a program point if it holds along **some** path there. That is exactly
+the right polarity for the leak rules built on top (RPL008: "this
+resource *may* still be unreleased at function exit"), and it keeps the
+conservative over-approximations in the CFG (shared finally regions,
+always-present exception continuations) sound: extra paths can only add
+facts, never hide one.
+
+Facts are opaque hashables supplied by the rule; the rule provides one
+``transfer(node) -> (gen, kill)`` callable evaluated once per node
+(transfer functions must be pure). Termination is guaranteed because
+the fact lattice is finite (facts are drawn from the function body) and
+transfer is monotone: ``out = (in - kill) | gen`` only ever grows under
+a growing ``in``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Hashable, Iterable
+
+from repro.analysis.cfg import CFG
+
+Fact = Hashable
+Transfer = Callable[[int], tuple[frozenset[Fact], frozenset[Fact]]]
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: Transfer,
+    entry_facts: Iterable[Fact] = (),
+    exception_transfer: Transfer | None = None,
+) -> tuple[dict[int, frozenset[Fact]], dict[int, frozenset[Fact]]]:
+    """Solve a forward may-analysis; returns ``(in_facts, out_facts)``.
+
+    Args:
+        cfg: the function CFG.
+        transfer: ``node_index -> (gen, kill)``; evaluated once per
+            node and cached.
+        entry_facts: facts holding at the ENTRY node.
+        exception_transfer: when given, ``except`` edges apply *this*
+            gen/kill to the node's in facts instead of propagating its
+            normal out facts. A statement that raises partway through
+            has not completed its normal effect: ``shm =
+            SharedMemory(...)`` raising acquires nothing (no gen), but
+            ``shm.close()`` raising has still consumed the handle (the
+            release kill applies). Leak-style analyses pass the
+            release-only kills here.
+
+    Returns:
+        Per-node fact sets *entering* and *leaving* each node. Nodes
+        unreachable from ENTRY keep empty sets.
+    """
+    succs: dict[int, list[tuple[int, bool]]] = {
+        n.index: [] for n in cfg.nodes
+    }
+    for src, dst, kind in cfg.edges:
+        succs[src].append((dst, kind == "except"))
+    for targets in succs.values():
+        targets.sort()
+
+    gen_kill: dict[int, tuple[frozenset[Fact], frozenset[Fact]]] = {}
+    exc_gen_kill: dict[int, tuple[frozenset[Fact], frozenset[Fact]]] = {}
+
+    def node_transfer(index: int) -> tuple[frozenset[Fact], frozenset[Fact]]:
+        if index not in gen_kill:
+            gen_kill[index] = transfer(index)
+        return gen_kill[index]
+
+    def node_exc_transfer(index: int) -> tuple[frozenset[Fact], frozenset[Fact]]:
+        assert exception_transfer is not None
+        if index not in exc_gen_kill:
+            exc_gen_kill[index] = exception_transfer(index)
+        return exc_gen_kill[index]
+
+    in_facts: dict[int, frozenset[Fact]] = {
+        n.index: frozenset() for n in cfg.nodes
+    }
+    out_facts: dict[int, frozenset[Fact]] = dict(in_facts)
+    in_facts[cfg.entry] = frozenset(entry_facts)
+
+    work: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    visited: set[int] = set()
+    last_in: dict[int, frozenset[Fact]] = {}
+    while work:
+        index = work.popleft()
+        queued.discard(index)
+        first_visit = index not in visited
+        visited.add(index)
+        gen, kill = node_transfer(index)
+        out = (in_facts[index] - kill) | gen
+        changed = (
+            out != out_facts[index]
+            or in_facts[index] != last_in.get(index)
+        )
+        out_facts[index] = out
+        last_in[index] = in_facts[index]
+        if not (changed or first_visit):
+            continue
+        for succ, is_except in succs[index]:
+            if is_except and exception_transfer is not None:
+                exc_gen, exc_kill = node_exc_transfer(index)
+                flowing = (in_facts[index] - exc_kill) | exc_gen
+            else:
+                flowing = out
+            merged = in_facts[succ] | flowing
+            if merged != in_facts[succ] or succ not in visited:
+                in_facts[succ] = merged
+                if succ not in queued:
+                    work.append(succ)
+                    queued.add(succ)
+    return in_facts, out_facts
+
+
+def reachable_nodes(cfg: CFG) -> frozenset[int]:
+    """Node indices reachable from ENTRY along any edge kind."""
+    succs: dict[int, list[int]] = {n.index: [] for n in cfg.nodes}
+    for src, dst, _kind in cfg.edges:
+        succs[src].append(dst)
+    seen = {cfg.entry}
+    work = deque([cfg.entry])
+    while work:
+        for succ in succs[work.popleft()]:
+            if succ not in seen:
+                seen.add(succ)
+                work.append(succ)
+    return frozenset(seen)

@@ -68,6 +68,18 @@ class HotPathPurity(Rule):
                     node,
                 )
             elif op == "searchsorted":
+                mirrored = self._mirrored_searchsorted_arg(node)
+                if mirrored is not None:
+                    yield module.finding(
+                        self.code,
+                        f"np.searchsorted over a slice of canonical "
+                        f"array '.{mirrored}' allocates a view and "
+                        f"re-enters numpy dispatch per call; use "
+                        f"bisect with lo/hi bounds on the plain "
+                        f"'.{mirrored}_i' mirror instead",
+                        node,
+                    )
+                    continue
                 func = astutil.enclosing_function(node)
                 if astutil.enclosing_loop(node, stop=func) is not None:
                     yield module.finding(
@@ -77,6 +89,27 @@ class HotPathPurity(Rule):
                         "numpy dispatch dominates the profile here)",
                         node,
                     )
+
+    @staticmethod
+    def _mirrored_searchsorted_arg(node: ast.Call) -> str | None:
+        """The mirrored-attribute name when ``searchsorted``'s haystack
+        is (a slice of) a canonical mirrored array.
+
+        Fires with or without an enclosing loop: range_within-style
+        helpers are themselves called once per leap, so the loop is in
+        the caller and invisible to a file-local check.
+        """
+        if not node.args:
+            return None
+        haystack = node.args[0]
+        if isinstance(haystack, ast.Subscript):
+            haystack = haystack.value
+        if (
+            isinstance(haystack, ast.Attribute)
+            and haystack.attr in INT_MIRRORED_ARRAY_ATTRS
+        ):
+            return haystack.attr
+        return None
 
     def _check_subscript(
         self, module: "ModuleInfo", node: ast.Subscript

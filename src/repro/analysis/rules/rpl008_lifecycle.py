@@ -1,0 +1,291 @@
+"""RPL008 — resource lifecycle must close on every CFG path.
+
+The runtime layers around the LTJ core (``repro.parallel``,
+``repro.store``, ``repro.serve``) acquire OS-visible resources — shm
+segments, mmap mappings, worker pools, sockets, mmap-backed stores.
+Leaking one is invisible to the test suite's happy paths and very
+visible in a long-running server. Until now leak checking was runtime
+only (the ``_CREATED`` registry asserts in tests); this rule proves the
+property *statically*, per function, over the CFG: a local variable
+bound to a resource constructor must be dead — released, stored,
+returned, or handed off — by the time control reaches the function's
+``EXIT`` **and** ``RAISE`` nodes. The exception edges are the point:
+``shm = SharedMemory(...)`` followed by a fallible call leaks the
+segment exactly when that call raises.
+
+A fact ``(var, line)`` is *generated* by ``var = <ResourceCall>(...)``
+(tuple targets take the first name — resource-returning helpers put
+the resource first by convention) and *killed* when the variable:
+
+- receives a release method call (``close``/``unlink``/``terminate``/
+  ``shutdown``/``join``/``stop``/``release``),
+- is returned or yielded (ownership moves to the caller),
+- is stored into an attribute/subscript (an owner object adopts it),
+- is passed as a bare argument to any call (registries, constructors
+  and helpers adopt or manage it),
+- is rebound or ``del``-ed, or
+- is the context expression of a ``with`` (managed release).
+
+Facts still live entering ``EXIT`` or ``RAISE`` are reported at their
+acquisition line, saying which paths leak.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis import astutil
+from repro.analysis.cfg import CFG, build_cfg, _Builder
+from repro.analysis.config import (
+    RESOURCE_CALLS,
+    RESOURCE_PREFIXES,
+    RESOURCE_RELEASE_METHODS,
+    in_scope,
+)
+from repro.analysis.dataflow import solve_forward
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.core import Finding, ModuleInfo, Project
+
+#: A dataflow fact: this acquisition may still be unreleased.
+Fact = tuple[str, int]  # (variable name, acquisition line)
+
+
+def _acquisition(stmt: ast.stmt) -> tuple[str, ast.Call] | None:
+    """``(bound name, call)`` when ``stmt`` binds a resource constructor."""
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target, value = stmt.targets[0], stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        target, value = stmt.target, stmt.value
+    else:
+        return None
+    if isinstance(value, ast.Await):
+        value = value.value
+    if not isinstance(value, ast.Call):
+        return None
+    name = astutil.call_name(value)
+    if name is None or astutil.last_segment(name) not in RESOURCE_CALLS:
+        return None
+    if isinstance(target, ast.Name):
+        return target.id, value
+    if (
+        isinstance(target, ast.Tuple)
+        and target.elts
+        and isinstance(target.elts[0], ast.Name)
+    ):
+        # Resource-first convention for multi-value helpers
+        # (e.g. ``mapping, size = _map_file(path)``).
+        return target.elts[0].id, value
+    return None
+
+
+def _released_names(stmt: ast.stmt, tracked: frozenset[str]) -> set[str]:
+    """Variables release-called or adopted at this statement.
+
+    Unlike the full kill set, these apply on *exception* edges too: a
+    release call that raises has still consumed the handle, and once a
+    resource is handed to an adopting callee (``registry.append(shm)``),
+    error cleanup is the adopter's job, not this function's.
+    """
+    released: set[str] = set()
+    for root in _Builder._header_exprs(stmt):
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in RESOURCE_RELEASE_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in tracked
+            ):
+                released.add(func.value.id)
+            released.update(
+                name for name in _adopted_names(node) if name in tracked
+            )
+    return released
+
+
+def _adopted_names(call: ast.Call) -> set[str]:
+    """Bare-name arguments handed off to an *adopting* callee.
+
+    Only receiver methods (``registry.append(shm)``) and constructors
+    (Uppercase initial: the new object owns it) adopt. A plain helper
+    *using* the resource (``_validated_header(path, mapping, ...)``)
+    does not, and its exceptions still leak.
+    """
+    func = call.func
+    callee = astutil.call_name(call)
+    adopts = isinstance(func, ast.Attribute) or (
+        callee is not None and astutil.last_segment(callee)[:1].isupper()
+    )
+    if not adopts:
+        return set()
+    names: set[str] = set()
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        if isinstance(arg, ast.Starred):
+            arg = arg.value
+        if isinstance(arg, ast.Name):
+            names.add(arg.id)
+    return names
+
+
+def _killed_names(stmt: ast.stmt, tracked: frozenset[str]) -> set[str]:
+    """Variables whose facts die at this statement header."""
+    killed: set[str] = set()
+
+    def note(name: str) -> None:
+        if name in tracked:
+            killed.add(name)
+
+    if isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                note(target.id)
+        return killed
+    if isinstance(stmt, (ast.Return, ast.Expr)):
+        payload = stmt.value
+        if isinstance(payload, (ast.Yield, ast.YieldFrom)):
+            payload = payload.value
+        if payload is not None:
+            for node in ast.walk(payload):
+                if isinstance(node, ast.Name):
+                    note(node.id)
+        if isinstance(stmt, ast.Return):
+            return killed
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                note(target.id)  # rebind
+            elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                for node in ast.walk(stmt.value):
+                    if isinstance(node, ast.Name):
+                        note(node.id)  # adopted by an owner object
+            elif isinstance(target, ast.Tuple):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        note(elt.id)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            for node in ast.walk(item.context_expr):
+                if isinstance(node, ast.Name):
+                    note(node.id)  # managed by the context
+
+    for root in _Builder._header_exprs(stmt):
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in RESOURCE_RELEASE_METHODS
+                and isinstance(func.value, ast.Name)
+            ):
+                note(func.value.id)  # explicit release
+            for name in _adopted_names(node):
+                note(name)  # handed off to an adopting callee
+    return killed
+
+
+class ResourceLifecycle(Rule):
+    code = "RPL008"
+    name = "resource-lifecycle"
+    summary = (
+        "shm/mmap/pool/socket/store acquisitions must be released, "
+        "stored, or handed off on every CFG path, exception edges "
+        "included"
+    )
+
+    def check(
+        self, module: "ModuleInfo", project: "Project"
+    ) -> Iterator["Finding"]:
+        if not in_scope(module.name, RESOURCE_PREFIXES):
+            return
+        for func in astutil.walk_functions(module.tree):
+            yield from self._check_function(module, func)
+
+    def _check_function(
+        self, module: "ModuleInfo", func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator["Finding"]:
+        cfg = build_cfg(func)
+        acquisitions: dict[int, list[tuple[Fact, str]]] = {}
+        all_facts: list[tuple[Fact, str]] = []
+        for node in cfg.nodes:
+            if node.stmt is None or node.label.startswith("WithExit"):
+                continue
+            acquired = _acquisition(node.stmt)
+            if acquired is None:
+                continue
+            name, call = acquired
+            fact = (name, node.stmt.lineno)
+            entry = (fact, astutil.call_name(call) or "?")
+            acquisitions.setdefault(node.index, []).append(entry)
+            all_facts.append(entry)
+        if not all_facts:
+            return
+        tracked = frozenset(fact[0] for fact, _ in all_facts)
+        facts_by_name: dict[str, set[Fact]] = {}
+        for fact, _ in all_facts:
+            facts_by_name.setdefault(fact[0], set()).add(fact)
+
+        def facts_for(names: set[str]) -> frozenset[Fact]:
+            return frozenset(
+                fact
+                for name in names
+                for fact in facts_by_name.get(name, ())
+            )
+
+        def transfer(index: int) -> tuple[frozenset[Fact], frozenset[Fact]]:
+            node = cfg.nodes[index]
+            if node.stmt is None:
+                return frozenset(), frozenset()
+            kill = facts_for(_killed_names(node.stmt, tracked))
+            gen = frozenset(
+                fact for fact, _ in acquisitions.get(index, ())
+            )
+            return gen, kill
+
+        def exception_transfer(
+            index: int,
+        ) -> tuple[frozenset[Fact], frozenset[Fact]]:
+            node = cfg.nodes[index]
+            if node.stmt is None:
+                return frozenset(), frozenset()
+            return frozenset(), facts_for(
+                _released_names(node.stmt, tracked)
+            )
+
+        in_facts, _out = solve_forward(
+            cfg, transfer, exception_transfer=exception_transfer
+        )
+        leak_normal = in_facts[cfg.exit]
+        leak_raise = in_facts[cfg.raise_exit]
+        for fact, callname in all_facts:
+            name, line = fact
+            on_normal = fact in leak_normal
+            on_raise = fact in leak_raise
+            if not (on_normal or on_raise):
+                continue
+            if on_normal:
+                paths = "on some paths to function exit"
+            else:
+                paths = "when an exception escapes"
+            yield module.finding(
+                self.code,
+                f"'{name}' acquired from '{callname}()' in "
+                f"'{func.name}' may leak {paths}; release it "
+                "(close/unlink/shutdown), store it on an owner, or "
+                "hand it off on every path — exception edges included",
+                _anchor(func, line),
+            )
+
+
+def _anchor(func: ast.FunctionDef | ast.AsyncFunctionDef, line: int) -> ast.stmt:
+    """The statement at ``line`` (for finding location/suppression)."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and getattr(node, "lineno", None) == line:
+            return node
+    return func

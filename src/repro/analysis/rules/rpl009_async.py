@@ -1,0 +1,128 @@
+"""RPL009 — no blocking call reachable from the asyncio loop.
+
+``repro.serve`` runs one asyncio event loop; every request, health
+check and metrics scrape shares it. A single blocking call inside an
+``async def`` — ``time.sleep``, a scheduler round trip, a future
+``result()``, sync socket/file IO — stalls *every* connected client
+for its duration. The sanctioned escape is the dispatch-thread
+boundary: hand the blocking callable **by reference** to
+``loop.run_in_executor(...)`` / ``asyncio.to_thread(...)`` and await
+the future.
+
+The rule combines two tiers:
+
+- **direct**: a call site inside an ``async def`` (in ``repro.serve``)
+  whose dotted name is in ``BLOCKING_CALLS`` or whose last segment is
+  in ``BLOCKING_METHODS``;
+- **transitive**: a call site whose callee — resolved through the
+  call-summary layer (``self.m``, same-module names, imported project
+  functions) — reaches a blocking primitive through any chain of
+  ordinary calls. The reported message carries the witness chain.
+
+Reference-passing is invisible to the call graph by construction, so
+the executor boundary needs no special casing: a worker function handed
+to ``run_in_executor`` is never a *call* from the async body.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis import astutil
+from repro.analysis.config import (
+    ASYNC_PREFIXES,
+    BLOCKING_CALLS,
+    BLOCKING_METHODS,
+    in_scope,
+)
+from repro.analysis.rules.base import Rule
+from repro.analysis.summaries import (
+    CallIndex,
+    CallSite,
+    modules_reachable_from,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.core import Finding, ModuleInfo, Project
+
+
+def _blocking_reason(site: CallSite) -> str | None:
+    if site.name in BLOCKING_CALLS:
+        return f"'{site.name}()' blocks the calling thread"
+    if astutil.last_segment(site.name) in BLOCKING_METHODS:
+        return (
+            f"'{site.name}()' is a blocking primitive "
+            f"('.{astutil.last_segment(site.name)}()')"
+        )
+    return None
+
+
+class NoBlockingInAsync(Rule):
+    code = "RPL009"
+    name = "blocking-in-async"
+    summary = (
+        "async defs in repro.serve must not reach blocking calls "
+        "except via the run_in_executor dispatch-thread boundary"
+    )
+
+    def __init__(self) -> None:
+        self._index_cache: dict[int, CallIndex] = {}
+
+    def _index_for(self, project: "Project") -> CallIndex:
+        key = id(project)
+        if key not in self._index_cache:
+            self._index_cache.clear()  # one project at a time
+            self._index_cache[key] = CallIndex(
+                modules_reachable_from(project, ASYNC_PREFIXES)
+            )
+        return self._index_cache[key]
+
+    def check(
+        self, module: "ModuleInfo", project: "Project"
+    ) -> Iterator["Finding"]:
+        if not in_scope(module.name, ASYNC_PREFIXES):
+            return
+        index = self._index_for(project)
+
+        # Tier 2 seeds: every indexed function with a direct blocking
+        # call, closed over resolved call edges. Async functions are
+        # excluded as propagation *carriers*: calling an async def
+        # returns a coroutine without running it.
+        seeds: dict[str, str] = {}
+        for key, info in index.functions.items():
+            if info.is_async:
+                continue
+            for site in info.calls:
+                reason = _blocking_reason(site)
+                if reason is not None:
+                    seeds[key] = reason
+                    break
+        blocked = index.propagate(seeds)
+
+        for key in sorted(index.functions):
+            info = index.functions[key]
+            if info.module.name != module.name or not info.is_async:
+                continue
+            for site in info.calls:
+                reason = _blocking_reason(site)
+                if reason is not None:
+                    yield module.finding(
+                        self.code,
+                        f"async '{info.node.name}' calls a blocking "
+                        f"primitive: {reason}; hand it to the dispatch "
+                        "thread via loop.run_in_executor(...) instead",
+                        site.node,
+                    )
+                    continue
+                if site.target is not None and site.target.key in blocked:
+                    chain = " -> ".join(blocked[site.target.key])
+                    yield module.finding(
+                        self.code,
+                        f"async '{info.node.name}' reaches a blocking "
+                        f"call through '{site.name}()': {chain}; cross "
+                        "the dispatch-thread boundary "
+                        "(loop.run_in_executor) before blocking",
+                        site.node,
+                    )

@@ -1,0 +1,335 @@
+"""RPL010 — thread/fork shared-state must be lock-guarded or declared.
+
+The serving stack runs three execution domains over one address space
+(plus forked children): the asyncio **loop** thread, the single
+**dispatch** thread behind ``run_in_executor``, and pool **workers**
+(separate processes attached to the same shm segments). State races
+hide in the seams:
+
+- an instance attribute written on the dispatch thread and read from
+  the loop (or vice versa) without a lock is a data race — Python's
+  GIL orders the bytecodes but not the *invariants*;
+- a module global written by parent-side code and read post-fork by a
+  worker silently diverges: the child keeps the pre-fork snapshot.
+
+Side classification is syntactic and conservative: dispatch-side roots
+are callables passed to ``run_in_executor``/``to_thread``/``submit``/
+``Thread``; worker-side roots are ``submit``/``apply_async`` targets,
+``initializer=`` callables, and everything defined in the declared
+``FORK_SIDE_MODULES``; loop-side roots are the ``async def`` bodies.
+Each side closes transitively over resolved *sync* call edges (calling
+an ``async def`` schedules it on the loop regardless of the caller's
+thread, so async callees never migrate a side).
+
+An access is exempt when it happens under ``with <something named
+*lock*>:`` or when the ``(owner, attribute)`` pair is listed in
+``DECLARED_THREAD_SAFE`` — the reviewed ownership ledger in
+``repro/analysis/config.py`` that makes every known-safe handoff a
+deliberate, documented decision instead of folklore.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis import astutil
+from repro.analysis.config import (
+    DECLARED_THREAD_SAFE,
+    FORK_SIDE_MODULES,
+    THREAD_SPAWN_CALLS,
+    THREAD_STATE_PREFIXES,
+    in_scope,
+)
+from repro.analysis.rules.base import Rule
+from repro.analysis.summaries import CallIndex, FunctionInfo
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.core import Finding, ModuleInfo, Project
+
+#: Worker-side spawn verbs (cross a *process* boundary).
+_WORKER_SPAWN = frozenset({"submit", "apply_async", "map_async"})
+
+LOOP, DISPATCH, WORKER = "loop", "dispatch", "worker"
+
+
+@dataclass
+class _Access:
+    func: FunctionInfo
+    node: ast.AST
+    line: int
+    is_write: bool
+    guarded: bool
+
+
+def _is_lock_guarded(node: ast.AST) -> bool:
+    for anc in astutil.ancestors(node):
+        if isinstance(anc, (ast.With, ast.AsyncWith)):
+            for item in anc.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                chain = astutil.dotted(expr)
+                if chain is not None and "lock" in chain.lower():
+                    return True
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+    return False
+
+
+def _module_globals(module: "ModuleInfo") -> frozenset[str]:
+    names: set[str] = set()
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            names.add(stmt.target.id)
+    return frozenset(names)
+
+
+class ThreadForkSharedState(Rule):
+    code = "RPL010"
+    name = "thread-fork-shared-state"
+    summary = (
+        "state shared across the loop/dispatch/worker domains must be "
+        "lock-guarded or listed in DECLARED_THREAD_SAFE"
+    )
+
+    def __init__(self) -> None:
+        self._cache: dict[int, tuple[CallIndex, dict[str, set[str]]]] = {}
+
+    # ------------------------------------------------------------------
+    # side classification
+    # ------------------------------------------------------------------
+    def _index_for(
+        self, project: "Project"
+    ) -> tuple[CallIndex, dict[str, set[str]]]:
+        key = id(project)
+        if key in self._cache:
+            return self._cache[key]
+        modules = [
+            m
+            for m in project.modules
+            if in_scope(m.name, THREAD_STATE_PREFIXES)
+        ]
+        index = CallIndex(modules)
+        sides = {
+            LOOP: self._close(
+                index,
+                {k for k, i in index.functions.items() if i.is_async},
+            ),
+            DISPATCH: self._close(index, self._spawn_roots(index, False)),
+            WORKER: self._close(
+                index,
+                self._spawn_roots(index, True)
+                | {
+                    k
+                    for k, i in index.functions.items()
+                    if i.ref.module in FORK_SIDE_MODULES
+                },
+            ),
+        }
+        self._cache.clear()
+        self._cache[key] = (index, sides)
+        return index, sides
+
+    def _spawn_roots(self, index: CallIndex, worker: bool) -> set[str]:
+        verbs = _WORKER_SPAWN if worker else THREAD_SPAWN_CALLS
+        roots: set[str] = set()
+        for info in index.functions.values():
+            for site in info.calls:
+                refs: list[ast.expr] = []
+                if astutil.last_segment(site.name) in verbs:
+                    refs.extend(site.node.args)
+                    refs.extend(kw.value for kw in site.node.keywords)
+                elif worker:
+                    # ``initializer=fn`` on any pool constructor runs
+                    # ``fn`` once per worker process, post-fork.
+                    refs.extend(
+                        kw.value
+                        for kw in site.node.keywords
+                        if kw.arg == "initializer"
+                    )
+                for ref in refs:
+                    chain = astutil.dotted(ref)
+                    if chain is None:
+                        continue
+                    target = index._resolve(info, chain)
+                    if target is not None:
+                        roots.add(target.key)
+        return roots
+
+    @staticmethod
+    def _close(index: CallIndex, roots: set[str]) -> set[str]:
+        seen = set(roots)
+        work = list(roots)
+        while work:
+            info = index.functions.get(work.pop())
+            if info is None:
+                continue
+            for site in info.calls:
+                if site.target is None or site.target.key in seen:
+                    continue
+                callee = index.functions[site.target.key]
+                if callee.is_async:
+                    continue  # runs on the loop, not the caller's thread
+                seen.add(site.target.key)
+                work.append(site.target.key)
+        return seen
+
+    # ------------------------------------------------------------------
+    # access collection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _accesses(
+        info: FunctionInfo, globals_: frozenset[str]
+    ) -> dict[tuple[str, str], list[_Access]]:
+        """``(owner, name) -> accesses`` for one function body.
+
+        Owner is the enclosing class name for ``self.X`` touches and
+        the module dotted name for module-global touches.
+        """
+        out: dict[tuple[str, str], list[_Access]] = {}
+        declared_global: set[str] = {
+            name
+            for node in ast.walk(info.node)
+            if isinstance(node, ast.Global)
+            for name in node.names
+        }
+        for node in ast.walk(info.node):
+            key: tuple[str, str] | None = None
+            is_write = False
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and info.class_name is not None
+            ):
+                key = (info.class_name, node.attr)
+                is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+            elif isinstance(node, ast.Name) and node.id in globals_:
+                key = (info.ref.module, node.id)
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    if node.id not in declared_global:
+                        continue  # a local shadowing the global
+                    is_write = True
+                else:
+                    # Container mutation through the global binding:
+                    # ``G[k] = v`` / ``G.pop(...)`` write shared state.
+                    up = astutil.parent(node)
+                    if isinstance(up, ast.Subscript) and isinstance(
+                        up.ctx, (ast.Store, ast.Del)
+                    ):
+                        is_write = True
+            if key is None:
+                continue
+            out.setdefault(key, []).append(
+                _Access(
+                    info,
+                    node,
+                    getattr(node, "lineno", info.node.lineno),
+                    is_write,
+                    _is_lock_guarded(node),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # rule body
+    # ------------------------------------------------------------------
+    def check(
+        self, module: "ModuleInfo", project: "Project"
+    ) -> Iterator["Finding"]:
+        if not in_scope(module.name, THREAD_STATE_PREFIXES):
+            return
+        index, sides = self._index_for(project)
+        globals_by_module = {
+            m.name: _module_globals(m)
+            for m in project.modules
+            if in_scope(m.name, THREAD_STATE_PREFIXES)
+        }
+
+        # (owner, name) -> side -> accesses, over the WHOLE indexed
+        # surface (conflicts cross modules); report only pairs whose
+        # conflicting *write* lives in the module under check.
+        table: dict[tuple[str, str], dict[str, list[_Access]]] = {}
+        for key, info in index.functions.items():
+            member_sides = [s for s in (LOOP, DISPATCH, WORKER) if key in sides[s]]
+            if not member_sides:
+                continue
+            per_fn = self._accesses(
+                info, globals_by_module.get(info.ref.module, frozenset())
+            )
+            for owner_name, accesses in per_fn.items():
+                slot = table.setdefault(owner_name, {})
+                for side in member_sides:
+                    slot.setdefault(side, []).extend(accesses)
+
+        for owner_name in sorted(table):
+            owner, name = owner_name
+            if (owner, name) in DECLARED_THREAD_SAFE or (
+                "*",
+                name,
+            ) in DECLARED_THREAD_SAFE:
+                continue
+            if owner in FORK_SIDE_MODULES:
+                continue  # whole module declared worker-owned
+            per_side = table[owner_name]
+            yield from self._conflicts(
+                module, owner, name, per_side, LOOP, DISPATCH
+            )
+            yield from self._conflicts(
+                module, owner, name, per_side, DISPATCH, LOOP
+            )
+            # Fork divergence: parent-side writes invisible post-fork.
+            for parent in (LOOP, DISPATCH):
+                yield from self._conflicts(
+                    module, owner, name, per_side, parent, WORKER
+                )
+                yield from self._conflicts(
+                    module, owner, name, per_side, WORKER, parent
+                )
+
+    def _conflicts(
+        self,
+        module: "ModuleInfo",
+        owner: str,
+        name: str,
+        per_side: dict[str, list[_Access]],
+        write_side: str,
+        touch_side: str,
+    ) -> Iterator["Finding"]:
+        writes = [
+            a
+            for a in per_side.get(write_side, ())
+            if a.is_write and not a.guarded
+        ]
+        touches = [
+            a for a in per_side.get(touch_side, ()) if not a.guarded
+        ]
+        for write in writes:
+            if write.func.ref.module != module.name:
+                continue
+            witnesses = [
+                t for t in touches if t.node is not write.node
+            ]
+            if not witnesses:
+                continue
+            other = witnesses[0]
+            yield module.finding(
+                self.code,
+                f"'{owner}.{name}' is written on the {write_side} side "
+                f"in '{write.func.node.name}' and touched on the "
+                f"{touch_side} side in '{other.func.node.name}' (line "
+                f"{other.line}) without a lock; guard both with a "
+                "shared lock or add the pair to DECLARED_THREAD_SAFE "
+                "with its ownership argument",
+                write.node,
+            )
+            break  # one finding per (owner, name, direction)

@@ -1,0 +1,220 @@
+"""Call summaries: a conservative intra-project call graph.
+
+RPL009 must answer "can this ``async def`` *transitively* reach a
+blocking call?" — a whole-project question the per-function CFGs cannot
+answer alone. This layer builds a syntactic function index over a set
+of modules (normally the modules reachable from a root prefix via the
+import graph), resolves call sites with three cheap, high-precision
+strategies, and propagates rule-supplied predicates over the resulting
+edges:
+
+- ``self.m(...)`` / ``cls.m(...)`` resolves to method ``m`` of the
+  *enclosing class* (no inheritance walk — subclass overrides in this
+  codebase live in the same module and are indexed separately);
+- a bare ``name(...)`` resolves to a module-level function of the same
+  module;
+- ``alias.name(...)`` resolves through the module's ``import``/
+  ``from … import`` aliases to a function in another project module.
+
+Anything else (builtins, stdlib, attribute chains on arbitrary
+objects) stays unresolved; rules match those textually against their
+own config. Callables that are merely *referenced* — e.g. a worker
+function handed to ``run_in_executor`` — never become call edges,
+which is precisely the sanctioned thread-boundary semantics RPL009
+relies on: crossing into the dispatch thread ends the async caller's
+blocking obligation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.astutil import call_name, class_of, walk_functions
+from repro.analysis.imports import _resolve_from
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.core import ModuleInfo, Project
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(frozen=True)
+class FunctionRef:
+    """A uniquely named function: ``module:Class.name`` or ``module:name``."""
+
+    module: str
+    qualname: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    name: str  # dotted textual callee ("self._run", "time.sleep", …)
+    target: FunctionRef | None  # resolved project-internal callee
+
+
+@dataclass
+class FunctionInfo:
+    ref: FunctionRef
+    node: FunctionNode
+    module: "ModuleInfo"
+    class_name: str | None
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+
+class CallIndex:
+    """Function index + resolved call edges over a set of modules."""
+
+    def __init__(self, modules: list["ModuleInfo"]) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self._aliases: dict[str, dict[str, str]] = {}
+        for module in modules:
+            self._aliases[module.name] = _import_aliases(module)
+            for func in walk_functions(module.tree):
+                cls = class_of(func)
+                class_name = cls.name if cls is not None else None
+                qualname = (
+                    f"{class_name}.{func.name}" if class_name else func.name
+                )
+                ref = FunctionRef(module.name, qualname)
+                self.functions[ref.key] = FunctionInfo(
+                    ref, func, module, class_name
+                )
+        for info in self.functions.values():
+            self._collect_calls(info)
+
+    # ------------------------------------------------------------------
+    # call-site resolution
+    # ------------------------------------------------------------------
+    def _collect_calls(self, info: FunctionInfo) -> None:
+        own_body = set()
+        for child in ast.walk(info.node):
+            # Skip call sites belonging to *nested* defs — they execute
+            # on the nested function's schedule, not the enclosing one.
+            if (
+                isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child is not info.node
+            ):
+                own_body.update(
+                    id(n) for n in ast.walk(child) if isinstance(n, ast.Call)
+                )
+        for child in ast.walk(info.node):
+            if not isinstance(child, ast.Call) or id(child) in own_body:
+                continue
+            name = call_name(child)
+            if name is None:
+                continue
+            info.calls.append(
+                CallSite(child, name, self._resolve(info, name))
+            )
+
+    def _resolve(self, info: FunctionInfo, name: str) -> FunctionRef | None:
+        parts = name.split(".")
+        module = info.module.name
+        if parts[0] in ("self", "cls") and len(parts) == 2:
+            if info.class_name is None:
+                return None
+            return self._lookup(module, f"{info.class_name}.{parts[1]}")
+        if len(parts) == 1:
+            return self._lookup(module, parts[0])
+        # alias.func / alias.sub.func through the import table.
+        aliases = self._aliases.get(module, {})
+        head = aliases.get(parts[0])
+        if head is None:
+            return None
+        dotted = ".".join([head] + parts[1:])
+        target_module, _, func_name = dotted.rpartition(".")
+        return self._lookup(target_module, func_name)
+
+    def _lookup(self, module: str, qualname: str) -> FunctionRef | None:
+        ref = FunctionRef(module, qualname)
+        return ref if ref.key in self.functions else None
+
+    # ------------------------------------------------------------------
+    # predicate propagation
+    # ------------------------------------------------------------------
+    def propagate(
+        self, seeds: dict[str, str]
+    ) -> dict[str, tuple[str, ...]]:
+        """Close a per-function property over call edges.
+
+        Args:
+            seeds: ``function key -> reason`` for functions that have
+                the property *directly* (e.g. "calls time.sleep").
+
+        Returns:
+            ``function key -> witness chain`` for every function that
+            has the property directly or through a callee; the chain
+            lists the call path down to the direct reason.
+        """
+        tainted: dict[str, tuple[str, ...]] = {
+            key: (reason,) for key, reason in sorted(seeds.items())
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, info in self.functions.items():
+                if key in tainted:
+                    continue
+                for site in info.calls:
+                    if site.target is None:
+                        continue
+                    chain = tainted.get(site.target.key)
+                    if chain is not None:
+                        tainted[key] = (
+                            f"{site.name}() [{site.target.key}]",
+                        ) + chain
+                        changed = True
+                        break
+        return tainted
+
+
+def _import_aliases(module: "ModuleInfo") -> dict[str, str]:
+    """local name -> absolute dotted target for the module's imports."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_from(module.name, node)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return aliases
+
+
+def modules_reachable_from(
+    project: "Project", roots: tuple[str, ...]
+) -> list["ModuleInfo"]:
+    """Project modules reachable from the root prefixes (roots included).
+
+    Falls back to *all* project modules when the import graph knows
+    none of the roots — fixtures impersonating in-scope modules via
+    ``# reprolint-module:`` are linted standalone, where the graph is
+    just themselves.
+    """
+    from repro.analysis.imports import build_import_graph, reachable
+
+    graph = build_import_graph(project)
+    names = reachable(graph, roots)
+    if not names:
+        return list(project.modules)
+    return [m for m in project.modules if m.name in names]

@@ -14,7 +14,7 @@ Subcommands::
     repro space     [--scale flags]
     repro bench     [--out BENCH.json --scale flags --baseline OLD.json]
     repro bench     --diff OLD.json NEW.json [--tolerance 0.2]
-    repro lint      [paths...] [--format text|json --rules RPL001,... ]
+    repro lint      [paths...] [--format text|json|sarif --changed ...]
 
 ``generate`` writes an ``.npz`` bundle (see :mod:`repro.graph.io`);
 ``build`` indexes a bundle once and writes the persistent index file
@@ -132,12 +132,8 @@ def _db_from_args(args: argparse.Namespace) -> GraphDatabase:
             raise ValidationError(
                 f"cannot read data bundle {args.data!r}: {exc}"
             ) from exc
-    try:
-        db = GraphDatabase.from_index(from_index, verify=not args.no_verify)
-    except OSError as exc:
-        raise ValidationError(
-            f"cannot open index file {from_index!r}: {exc}"
-        ) from exc
+    # Reject graph-requiring engines before mapping the file: the check
+    # is static, and bailing afterwards would strand the open mapping.
     engine = getattr(args, "engine", None)
     if engine in _GRAPH_REQUIRED:
         raise ValidationError(
@@ -145,7 +141,12 @@ def _db_from_args(args: argparse.Namespace) -> GraphDatabase:
             "persistent index does not carry; use --data, or one of the "
             "Ring engines (ring-knn, ring-knn-s, parallel-knn, auto)"
         )
-    return db
+    try:
+        return GraphDatabase.from_index(from_index, verify=not args.no_verify)
+    except OSError as exc:
+        raise ValidationError(
+            f"cannot open index file {from_index!r}: {exc}"
+        ) from exc
 
 
 def _add_source_flags(p: argparse.ArgumentParser) -> None:
@@ -183,41 +184,51 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     db = _db_from_args(args)
-    query = parse_query(args.query)
-    engine = _make_engine(args.engine, db, workers=args.workers)
-    result = engine.evaluate(query, timeout=args.timeout, limit=args.limit)
-    for solution in result.solutions[: args.print_limit]:
-        print(
-            "  " + ", ".join(
-                f"?{v.name}={c}" for v, c in sorted(
-                    solution.items(), key=lambda item: item[0].name
+    try:
+        query = parse_query(args.query)
+        engine = _make_engine(args.engine, db, workers=args.workers)
+        result = engine.evaluate(
+            query, timeout=args.timeout, limit=args.limit
+        )
+        for solution in result.solutions[: args.print_limit]:
+            print(
+                "  " + ", ".join(
+                    f"?{v.name}={c}" for v, c in sorted(
+                        solution.items(), key=lambda item: item[0].name
+                    )
                 )
             )
+        shown = min(len(result.solutions), args.print_limit)
+        if shown < len(result.solutions):
+            print(f"  ... ({len(result.solutions) - shown} more)")
+        flag = " (TIMED OUT)" if result.timed_out else ""
+        print(
+            f"{len(result.solutions)} solutions in {result.elapsed:.3f}s "
+            f"via {engine.name}{flag}"
         )
-    shown = min(len(result.solutions), args.print_limit)
-    if shown < len(result.solutions):
-        print(f"  ... ({len(result.solutions) - shown} more)")
-    flag = " (TIMED OUT)" if result.timed_out else ""
-    print(
-        f"{len(result.solutions)} solutions in {result.elapsed:.3f}s "
-        f"via {engine.name}{flag}"
-    )
-    return 0
+        return 0
+    finally:
+        # A per-invocation database owns its pools and (for
+        # --from-index) the file mapping; release both even on error.
+        db.close()
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     db = _db_from_args(args)
-    query = parse_query(args.query)
-    report = explain(
-        db,
-        query,
-        engine=args.engine,
-        analyze=args.analyze,
-        timeout=args.timeout,
-        workers=args.workers,
-    )
-    print(report.format())
-    return 0
+    try:
+        query = parse_query(args.query)
+        report = explain(
+            db,
+            query,
+            engine=args.engine,
+            analyze=args.analyze,
+            timeout=args.timeout,
+            workers=args.workers,
+        )
+        print(report.format())
+        return 0
+    finally:
+        db.close()
 
 
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
@@ -226,57 +237,60 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
 
     db = _db_from_args(args)
     try:
-        with open(args.queries, encoding="utf-8") as handle:
-            texts = [
-                line.strip()
-                for line in handle
-                if line.strip() and not line.lstrip().startswith("#")
-            ]
-    except OSError as exc:
-        raise ValidationError(
-            f"cannot read query file {args.queries!r}: {exc}"
-        ) from exc
-    queries = []
-    for number, text in enumerate(texts, start=1):
         try:
-            queries.append(parse_query(text))
-        except (QueryError, ValidationError) as exc:
-            raise QueryError(
-                f"{args.queries}: malformed query on non-comment line "
-                f"{number}: {text!r}: {exc}"
+            with open(args.queries, encoding="utf-8") as handle:
+                texts = [
+                    line.strip()
+                    for line in handle
+                    if line.strip() and not line.lstrip().startswith("#")
+                ]
+        except OSError as exc:
+            raise ValidationError(
+                f"cannot read query file {args.queries!r}: {exc}"
             ) from exc
-    scheduler = QueryScheduler(
-        db,
-        workers=args.workers,
-        parallel_threshold=args.parallel_threshold,
-    )
-    try:
-        plans = [
-            scheduler.classify(query, index)
-            for index, query in enumerate(queries)
-        ]
-        results = scheduler.run_batch(
-            queries, timeout=args.timeout, limit=args.limit
+        queries = []
+        for number, text in enumerate(texts, start=1):
+            try:
+                queries.append(parse_query(text))
+            except (QueryError, ValidationError) as exc:
+                raise QueryError(
+                    f"{args.queries}: malformed query on non-comment "
+                    f"line {number}: {text!r}: {exc}"
+                ) from exc
+        scheduler = QueryScheduler(
+            db,
+            workers=args.workers,
+            parallel_threshold=args.parallel_threshold,
         )
-    finally:
-        # Always unlink the shared-memory segments the pool published,
-        # even when a worker raised mid-batch.
-        scheduler.close()
-    for text, plan, result in zip(texts, plans, results):
-        flag = " (TIMED OUT)" if result.timed_out else ""
+        try:
+            plans = [
+                scheduler.classify(query, index)
+                for index, query in enumerate(queries)
+            ]
+            results = scheduler.run_batch(
+                queries, timeout=args.timeout, limit=args.limit
+            )
+        finally:
+            # Always unlink the shared-memory segments the pool
+            # published, even when a worker raised mid-batch.
+            scheduler.close()
+        for text, plan, result in zip(texts, plans, results):
+            flag = " (TIMED OUT)" if result.timed_out else ""
+            print(
+                f"[{plan.index}] {len(result.solutions)} solutions in "
+                f"{result.elapsed:.3f}s via {result.engine} "
+                f"[{plan.route}: {plan.reason}]{flag}"
+            )
+            if args.verbose:
+                print(f"      {text}")
+        total = sum(len(result.solutions) for result in results)
         print(
-            f"[{plan.index}] {len(result.solutions)} solutions in "
-            f"{result.elapsed:.3f}s via {result.engine} "
-            f"[{plan.route}: {plan.reason}]{flag}"
+            f"{len(results)} queries, {total} solutions "
+            f"({args.workers} workers)"
         )
-        if args.verbose:
-            print(f"      {text}")
-    total = sum(len(result.solutions) for result in results)
-    print(
-        f"{len(results)} queries, {total} solutions "
-        f"({args.workers} workers)"
-    )
-    return 0
+        return 0
+    finally:
+        db.close()
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -293,27 +307,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_grace=args.drain_grace,
         debug_faults=args.debug_faults,
     )
-    return run_server(db, config)
+    try:
+        return run_server(db, config)
+    finally:
+        db.close()
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     db = _db_from_args(args)
-    query = parse_query(args.query)
-    engine = _make_engine(args.engine, db, workers=args.workers)
-    trace = QueryTrace(query=args.query)
-    engine.evaluate(
-        query, timeout=args.timeout, limit=args.limit, trace=trace
-    )
-    document = trace.to_dict()
-    validate_trace(document)
-    text = json.dumps(document, indent=args.indent, sort_keys=True)
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
-        print(f"wrote {args.out}", file=sys.stderr)
-    else:
-        print(text)
-    return 0
+    try:
+        query = parse_query(args.query)
+        engine = _make_engine(args.engine, db, workers=args.workers)
+        trace = QueryTrace(query=args.query)
+        engine.evaluate(
+            query, timeout=args.timeout, limit=args.limit, trace=trace
+        )
+        document = trace.to_dict()
+        validate_trace(document)
+        text = json.dumps(document, indent=args.indent, sort_keys=True)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    finally:
+        db.close()
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
@@ -441,6 +461,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_python_files() -> list[str] | None:
+    """Repo-relative ``.py`` paths that differ from ``HEAD``.
+
+    Staged, unstaged and untracked files all count — the pre-commit
+    path lints what is about to land, not what already did. Returns
+    ``None`` when git is unavailable or the cwd is not a work tree.
+    """
+    import subprocess
+    from pathlib import Path
+
+    def git(*argv: str) -> str:
+        return subprocess.run(
+            ["git", *argv], capture_output=True, text=True, check=True
+        ).stdout
+
+    try:
+        top = Path(git("rev-parse", "--show-toplevel").strip())
+        listed = set(git("diff", "--name-only", "HEAD").splitlines())
+        listed |= set(
+            git("ls-files", "--others", "--exclude-standard").splitlines()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return [
+        str(top / rel)
+        for rel in sorted(listed)
+        if rel.endswith(".py") and (top / rel).is_file()
+    ]
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -448,6 +498,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         Project,
         format_findings,
         format_json,
+        format_sarif,
         get_rules,
         lint,
         rule_catalog,
@@ -459,7 +510,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
 
     paths = args.paths
-    if not paths:
+    if args.changed:
+        changed = _changed_python_files()
+        if changed is None:
+            print(
+                "repro lint: --changed requires git and a work tree",
+                file=sys.stderr,
+            )
+            return 2
+        paths = changed
+    elif not paths:
         # Default target: the installed repro package itself.
         paths = [str(Path(__file__).resolve().parent)]
     try:
@@ -467,9 +527,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"repro lint: {exc.args[0]}", file=sys.stderr)
         return 2
+    fmt = "sarif" if args.sarif else args.format
     result = lint(Project.from_paths(paths), rules)
-    if args.format == "json":
+    if fmt == "json":
         print(format_json(result))
+    elif fmt == "sarif":
+        print(format_sarif(result))
     else:
         print(format_findings(result, verbose=args.verbose))
     return 0 if result.ok else 1
@@ -737,14 +800,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the reprolint invariant checks (RPL001-RPL007)",
+        help="run the reprolint invariant checks (RPL001-RPL010)",
     )
     p.add_argument(
         "paths",
         nargs="*",
         help="files/directories to lint (default: the repro package)",
     )
-    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--format", choices=["text", "json", "sarif"], default="text")
+    p.add_argument(
+        "--sarif",
+        action="store_true",
+        help="shorthand for --format sarif (GitHub code-scanning upload)",
+    )
+    p.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only .py files that differ from git HEAD (staged, "
+        "unstaged or untracked) — the pre-commit fast path; exits 0 "
+        "when nothing changed, 2 when git is unavailable",
+    )
     p.add_argument(
         "--rules",
         default=None,

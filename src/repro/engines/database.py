@@ -87,6 +87,25 @@ class GraphDatabase:
         """The backing :class:`~repro.store.IndexStore`, if mmap-loaded."""
         return getattr(self, "_store", None)
 
+    def close(self) -> None:
+        """Release runtime resources bound to this database.
+
+        Closes every cached worker pool keyed on this instance (their
+        processes and shared segments) and, for a store-backed
+        database, the backing mmap. Idempotent; an in-memory database
+        with no pools is a no-op. Owners that open a database per
+        request (the CLI, embedders) must call this — dropping the
+        last reference leaks the mapping until process exit, which is
+        exactly what the ``REPRO_SANITIZE=1`` test mode flags.
+        """
+        from repro.parallel.executor import close_pools_for
+
+        close_pools_for(self)
+        store = getattr(self, "_store", None)
+        if store is not None:
+            self._store = None
+            store.close()
+
     # ------------------------------------------------------------------
     # default-relation conveniences (most code uses a single relation)
     # ------------------------------------------------------------------

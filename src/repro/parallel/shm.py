@@ -153,11 +153,19 @@ class _SegmentBuilder:
 
     def build(self, root: dict[str, Any]) -> tuple[ShmManifest, shared_memory.SharedMemory]:
         shm = shared_memory.SharedMemory(create=True, size=max(self._size, 1))
-        self.write(shm.buf)
+        try:
+            self.write(shm.buf)
+            manifest = ShmManifest(
+                segment=shm.name, entries=tuple(self._entries), root=root
+            )
+        except BaseException:
+            # A failed flatten must not strand the OS segment: nobody
+            # else holds its name yet, so close-and-unlink here is the
+            # only release point (surfaced by RPL008).
+            shm.close()
+            shm.unlink()
+            raise
         self._pending.clear()
-        manifest = ShmManifest(
-            segment=shm.name, entries=tuple(self._entries), root=root
-        )
         return manifest, shm
 
 
@@ -475,6 +483,7 @@ def prime_hot_caches(structure: object) -> None:
         prime_hot_caches(structure._B)
     elif isinstance(structure, DistanceRangeIndex):
         structure._members_i
+        structure._distances_i
         prime_hot_caches(structure._D)
         prime_hot_caches(structure._B)
     elif isinstance(structure, WaveletTree):

@@ -242,8 +242,10 @@ class ReproServer:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         if clean:
+            # reprolint: disable=RPL009 -- post-drain the dispatcher task has exited and the queue is empty, so the single dispatch worker is idle: shutdown(wait=True) returns without blocking on query work
             self._dispatch_pool.shutdown(wait=True)
         else:  # pragma: no cover - a query outlived the drain grace
+            # reprolint: disable=RPL009 -- wait=False never joins the worker thread; cancel_futures only flips pending futures, a bounded O(queue) loop-safe operation
             self._dispatch_pool.shutdown(wait=False, cancel_futures=True)
         self._scheduler.close()
         self._closed_event.set()

@@ -95,7 +95,7 @@ def _map_file(path: str) -> tuple[mmap.mmap, int]:
         )
     with open(path, "rb") as handle:
         mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
-    return mapping, size
+        return mapping, size
 
 
 def _validated_header(
@@ -222,7 +222,14 @@ def load(path: str, verify: bool = True, prime: bool = False) -> IndexStore:
         mapping.close()
         raise
     if prime:
-        prime_hot_caches(store.structure)
+        try:
+            prime_hot_caches(store.structure)
+        except Exception:
+            # Priming walks attached views; if the segment data is bad
+            # past header validation, the store (and its mapping) must
+            # not leak on the way out.
+            store.close()
+            raise
     return store
 
 
@@ -238,16 +245,26 @@ class AttachedStore:
 
     def __init__(self, manifest: StoreManifest) -> None:
         mapping, size = _map_file(manifest.path)
-        # Cheap structural sanity only (magic/version/length): a worker
-        # never attaches a path the parent did not already validate.
-        header = _validated_header(manifest.path, mapping, size, verify=False)
+        try:
+            # Cheap structural sanity only (magic/version/length): a
+            # worker never attaches a path the parent did not already
+            # validate.
+            header = _validated_header(
+                manifest.path, mapping, size, verify=False
+            )
+            structure = attach_buffer(
+                manifest.root,
+                manifest.entries,
+                mapping,
+                base=header.segment_offset,
+            )
+        except Exception:
+            # No owner exists yet: a failed attach must close the
+            # mapping here or it leaks with the discarded instance.
+            mapping.close()
+            raise
         self._mmap = mapping
-        self.structure: Any = attach_buffer(
-            manifest.root,
-            manifest.entries,
-            mapping,
-            base=header.segment_offset,
-        )
+        self.structure: Any = structure
 
     def close(self) -> None:
         self.structure = None

@@ -9,11 +9,29 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis import sanitize
 from repro.datasets.wikimedia import WikimediaConfig, generate_benchmark
 from repro.engines.database import GraphDatabase
 from repro.graph.triples import GraphData
 from repro.knn.builders import build_knn_graph_bruteforce
 from repro.knn.graph import KnnGraph
+
+
+if sanitize.enabled():
+    # Patch the runtime resource primitives before any test module
+    # imports them; see repro/analysis/sanitize.py. The CI ``sanitize``
+    # job runs the shm/store/serve batteries under REPRO_SANITIZE=1.
+    sanitize.install()
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_leak_check(request):
+    """Fail any test that acquires a resource it never releases."""
+    if not sanitize.enabled():
+        yield
+        return
+    with sanitize.test_leak_check(request.node.nodeid):
+        yield
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,54 @@
+# reprolint-module: repro.parallel.fixture_cfg
+"""CFG edge-case functions rendered into ``cfg_cases.golden``.
+
+Each top-level function is built with :func:`repro.analysis.cfg.build_cfg`
+and rendered with :func:`~repro.analysis.cfg.cfg_shape`;
+``tests/test_cfg.py`` diffs the concatenation against the golden file.
+Regenerate after a deliberate CFG change with::
+
+    PYTHONPATH=src REPRO_REGEN_GOLDENS=1 python -m pytest tests/test_cfg.py
+"""
+
+
+def nested_try_finally(resource, inner, outer):
+    try:
+        try:
+            step(inner)
+        finally:
+            inner.close()
+        step(outer)
+    finally:
+        outer.close()
+    return resource
+
+
+def with_statements(path, payload):
+    with open(path) as handle:
+        handle.write(payload)
+        with handle.lock():
+            flush(handle)
+    return path
+
+
+def early_return_in_except(job):
+    try:
+        run(job)
+    except KeyError:
+        return None
+    except Exception:
+        job.retry()
+        return job
+    finally:
+        job.log()
+    return job
+
+
+def while_else(items, limit):
+    total = 0
+    while items:
+        total += pop_cost(items)
+        if total > limit:
+            break
+    else:
+        total = -1
+    return total

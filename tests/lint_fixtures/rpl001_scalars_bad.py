@@ -30,4 +30,18 @@ def fine_write(ring, j, value):
 
 
 def fine_unmirrored(index, lo, hi):
-    return index._distances[lo]  # not an int-mirrored array
+    return index._weights[lo]  # not a mirrored array
+
+
+def leaky_searchsorted_on_mirror(index, d, lo, hi):
+    import numpy as np
+
+    # View allocation + numpy dispatch per call, even with no loop in
+    # sight (the per-leap loop lives in the caller).
+    return np.searchsorted(index._distances[lo : hi + 1], d, "right")
+
+
+def fine_bounded_bisect(index, d, lo, hi):
+    from bisect import bisect_right
+
+    return bisect_right(index._distances_i, d, lo, hi + 1)

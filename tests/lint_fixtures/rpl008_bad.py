@@ -1,0 +1,56 @@
+# reprolint-module: repro.parallel.fixture_lifecycle
+"""RPL008 fixture: resource acquisitions that leak on some CFG path.
+
+``leaky_exception`` and ``leaky_branch`` must each produce exactly one
+finding (anchored at the acquisition line); every ``clean_*`` function
+exercises a sanctioned ownership outcome and must stay silent.
+"""
+
+import mmap
+from multiprocessing import shared_memory
+
+
+def leaky_exception(size, payload):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    fill(shm.buf, payload)  # may raise -> the segment is stranded
+    return shm
+
+
+def leaky_branch(cfg):
+    pool = WorkerPool(cfg, 2)
+    if cfg.dry_run:
+        return None  # pool still open on this path
+    pool.close()
+    return None
+
+
+def clean_exception(size, payload):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        fill(shm.buf, payload)
+        return shm
+    except Exception:
+        shm.close()
+        shm.unlink()
+        raise
+
+
+def clean_owner_adopts(cfg, registry):
+    pool = WorkerPool(cfg, 2)
+    registry.append(pool)
+
+
+def clean_constructor_adopts(cfg):
+    pool = WorkerPool(cfg, 2)
+    return PoolHandle(pool)
+
+
+def clean_stored_on_self(cfg, server):
+    pool = WorkerPool(cfg, 2)
+    server._pool = pool
+
+
+def clean_context_managed(handle):
+    mapping = mmap.mmap(handle.fileno(), 0)
+    with mapping:
+        return consume(mapping)

@@ -1,0 +1,32 @@
+# reprolint-module: repro.serve.fixture_async
+"""RPL009 fixture: blocking calls reachable from the asyncio loop.
+
+``handle_direct`` (direct ``time.sleep``) and ``handle_transitive``
+(blocking scheduler round trip two sync calls away) must each produce
+one finding; ``handle_executor`` crosses the sanctioned
+``run_in_executor`` boundary by reference and must stay silent.
+"""
+
+import asyncio
+import time
+
+
+def _sync_round_trip(scheduler, batch):
+    return scheduler.run_batch(batch)
+
+
+def _sync_layer(scheduler, batch):
+    return _sync_round_trip(scheduler, batch)
+
+
+class Handler:
+    async def handle_direct(self, request):
+        time.sleep(0.01)
+        return request
+
+    async def handle_transitive(self, scheduler, batch):
+        return _sync_layer(scheduler, batch)
+
+    async def handle_executor(self, scheduler, batch):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, _sync_layer, scheduler, batch)

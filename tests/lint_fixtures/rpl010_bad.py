@@ -1,0 +1,45 @@
+# reprolint-module: repro.serve.fixture_state
+"""RPL010 fixture: shared state crossing the thread/fork boundary.
+
+Two conflicts: ``Gateway._last_result`` is written by the dispatch
+thread (``_run_job`` reaches the executor via ``run_in_executor``) and
+read from the loop side without a lock; module global ``_JOBS`` is
+rebound loop-side while ``apply_async`` workers read it post-fork.
+The lock-guarded ``_guarded_result`` pair must stay silent.
+"""
+
+import threading
+
+_JOBS = {}
+
+
+def _worker_main(key):
+    return _JOBS[key]
+
+
+async def refresh_jobs(pool, mapping):
+    global _JOBS
+    _JOBS = mapping
+    pool.apply_async(_worker_main, (0,))
+
+
+class Gateway:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._last_result = None
+        self._guarded_result = None
+
+    async def start(self, loop):
+        await loop.run_in_executor(None, self._run_job, 1)
+
+    async def poll(self):
+        return self._last_result
+
+    async def poll_guarded(self):
+        with self._lock:
+            return self._guarded_result
+
+    def _run_job(self, job):
+        self._last_result = job
+        with self._lock:
+            self._guarded_result = job

@@ -1,0 +1,225 @@
+"""Tests for the per-function CFG builder and the dataflow engine.
+
+The golden half renders every function in ``lint_fixtures/cfg_cases.py``
+through :func:`cfg_shape` and diffs against ``cfg_cases.golden`` — any
+change to edge construction (finally sharing, exception continuations,
+loop/else wiring) shows up as a reviewable text diff. Set
+``REPRO_REGEN_GOLDENS=1`` to rewrite the golden after a deliberate
+change. The structural half asserts the properties the RPL008-RPL010
+rules lean on, independent of exact node numbering.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+
+from repro.analysis.cfg import build_cfg, cfg_shape
+from repro.analysis.dataflow import reachable_nodes, solve_forward
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+CASES = FIXTURES / "cfg_cases.py"
+GOLDEN = FIXTURES / "cfg_cases.golden"
+
+
+def _functions():
+    tree = ast.parse(CASES.read_text())
+    return [
+        node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _cfg(name: str):
+    func = next(f for f in _functions() if f.name == name)
+    return build_cfg(func)
+
+
+def _edges(cfg, kind=None):
+    return {
+        (src, dst)
+        for src, dst, k in cfg.edges
+        if kind is None or k == kind
+    }
+
+
+def test_golden_shapes():
+    rendered = "\n".join(cfg_shape(build_cfg(f)) for f in _functions())
+    if os.environ.get("REPRO_REGEN_GOLDENS"):
+        GOLDEN.write_text(rendered)
+    assert rendered == GOLDEN.read_text()
+
+
+def test_every_node_reachable_and_exits_terminal():
+    for func in _functions():
+        cfg = build_cfg(func)
+        assert reachable_nodes(cfg) == frozenset(
+            n.index for n in cfg.nodes
+        ), f"unreachable nodes in {func.name}"
+        for terminal in (cfg.exit, cfg.raise_exit):
+            assert not cfg.successors(terminal)
+
+
+def test_nested_finally_runs_on_exception_path():
+    cfg = _cfg("nested_try_finally")
+    # step(inner) must not reach RAISE directly: its exception edge
+    # lands on the inner Finally, whose region reaches the outer
+    # Finally, which alone feeds RAISE.
+    raise_preds = {src for src, dst in _edges(cfg) if dst == cfg.raise_exit}
+    finallys = [n.index for n in cfg.nodes if n.label == "Finally"]
+    assert len(finallys) == 2
+    step_nodes = [
+        n.index
+        for n in cfg.nodes
+        if n.stmt is not None
+        and isinstance(n.stmt, ast.Expr)
+        and "step" in ast.dump(n.stmt)
+    ]
+    assert step_nodes and not (set(step_nodes) & raise_preds)
+
+
+def test_with_exit_is_release_point():
+    cfg = _cfg("with_statements")
+    with_exits = [
+        n for n in cfg.nodes if n.label.startswith("WithExit")
+    ]
+    assert len(with_exits) == 2
+    # Only the outermost context machinery (the with header, whose
+    # context expression raises before __enter__, and the outer
+    # WithExit re-raising) reaches RAISE; body statements' exception
+    # edges land on the innermost WithExit — the release point.
+    raise_preds = {
+        src for src, dst in _edges(cfg, "except") if dst == cfg.raise_exit
+    }
+    managed = {w.index for w in with_exits} | {
+        n.index for n in cfg.nodes if n.label == "With"
+    }
+    assert raise_preds and raise_preds <= managed
+    body_exprs = {
+        n.index
+        for n in cfg.nodes
+        if n.stmt is not None and isinstance(n.stmt, ast.Expr)
+    }
+    for src in body_exprs:
+        except_dsts = {
+            dst for s, dst in _edges(cfg, "except") if s == src
+        }
+        assert except_dsts <= {w.index for w in with_exits}
+
+
+def test_early_return_in_except_routes_through_finally():
+    cfg = _cfg("early_return_in_except")
+    fin_node = next(n for n in cfg.nodes if n.label == "Finally")
+    returns = [
+        n.index
+        for n in cfg.nodes
+        if n.stmt is not None
+        and isinstance(n.stmt, ast.Return)
+        and n.line < fin_node.line  # inside the try/except
+    ]
+    assert len(returns) == 2
+    # Every return inside the try/except routes into the finally region
+    # (kind "return"), never straight to EXIT; the finally region's own
+    # exit then carries the routed return on to EXIT.
+    for ret in returns:
+        succ = cfg.successors(ret)
+        assert (fin_node.index, "return") in succ
+        assert (cfg.exit, "return") not in succ
+    fin_exits = {
+        src for src, dst in _edges(cfg, "return") if dst == cfg.exit
+    }
+    assert any(
+        cfg.nodes[src].line >= fin_node.line for src in fin_exits
+    )
+
+
+def test_while_else_skipped_by_break():
+    cfg = _cfg("while_else")
+    header = next(
+        n.index
+        for n in cfg.nodes
+        if n.stmt is not None and isinstance(n.stmt, ast.While)
+    )
+    else_assign = next(
+        n.index
+        for n in cfg.nodes
+        if n.stmt is not None
+        and isinstance(n.stmt, ast.Assign)
+        and n.line > cfg.nodes[header].line
+        and isinstance(n.stmt.value, ast.UnaryOp)
+    )
+    final_return = next(
+        n.index
+        for n in cfg.nodes
+        if n.stmt is not None and isinstance(n.stmt, ast.Return)
+    )
+    # Normal exhaustion: header -> else body; break: straight to the
+    # statement after the loop, skipping the else.
+    assert (header, else_assign) in _edges(cfg, "next")
+    break_srcs = {
+        src for src, dst in _edges(cfg, "break") if dst == final_return
+    }
+    assert break_srcs, "break edge missing"
+    assert all(
+        (src, else_assign) not in _edges(cfg) for src in break_srcs
+    )
+    # Loop back edge exists.
+    assert any(dst == header for _, dst in _edges(cfg, "loop"))
+
+
+def test_solve_forward_may_union_and_exception_transfer():
+    source = (
+        "def f(cond):\n"
+        "    x = acquire()\n"
+        "    if cond:\n"
+        "        x.close()\n"
+        "    touch(x)\n"
+    )
+    func = ast.parse(source).body[0]
+    cfg = build_cfg(func)
+    acq = next(
+        n.index
+        for n in cfg.nodes
+        if n.stmt is not None and isinstance(n.stmt, ast.Assign)
+    )
+    close = next(
+        n.index
+        for n in cfg.nodes
+        if n.stmt is not None
+        and isinstance(n.stmt, ast.Expr)
+        and "close" in ast.dump(n.stmt)
+    )
+    touch = next(
+        n.index
+        for n in cfg.nodes
+        if n.stmt is not None
+        and isinstance(n.stmt, ast.Expr)
+        and "touch" in ast.dump(n.stmt)
+    )
+
+    def transfer(index):
+        if index == acq:
+            return frozenset({"x"}), frozenset()
+        if index == close:
+            return frozenset(), frozenset({"x"})
+        return frozenset(), frozenset()
+
+    def exception_transfer(index):
+        if index == close:
+            return frozenset(), frozenset({"x"})
+        return frozenset(), frozenset()
+
+    in_facts, out_facts = solve_forward(
+        cfg, transfer, exception_transfer=exception_transfer
+    )
+    # May-analysis: the un-closed branch keeps the fact alive at the
+    # join, so it reaches touch() and EXIT.
+    assert "x" in in_facts[touch]
+    assert "x" in in_facts[cfg.exit]
+    # The acquisition's own exception edge carries no gen: acquire()
+    # raising acquired nothing.
+    assert out_facts[close] == frozenset()
+    # But touch(x) raising leaks it to RAISE.
+    assert "x" in in_facts[cfg.raise_exit]

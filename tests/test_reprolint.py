@@ -1,4 +1,4 @@
-"""Tests for the reprolint static-analysis suite (RPL001-RPL007).
+"""Tests for the reprolint static-analysis suite (RPL001-RPL010).
 
 Each rule is exercised against a fixture file in ``tests/lint_fixtures/``
 carrying known violations; fixtures impersonate in-scope modules via the
@@ -20,6 +20,7 @@ from repro.analysis import (
     Project,
     format_findings,
     format_json,
+    format_sarif,
     get_rules,
     lint,
     rule_catalog,
@@ -66,10 +67,14 @@ class TestRPL001HotPathPurity:
     def test_flags_canonical_array_element_reads(self):
         result = lint_fixture("rpl001_scalars_bad.py", ["RPL001"])
         messages = [f.message for f in result.findings]
-        assert len(result.findings) == 2
+        assert len(result.findings) == 3
         assert any("_members[...]" in m for m in messages)
         assert any("_s_offsets[...]" in m for m in messages)
-        # every finding points at the plain-int mirror remedy
+        # searchsorted over a mirrored array fires with no loop in sight
+        assert any(
+            "searchsorted" in m and "_distances" in m for m in messages
+        )
+        # every finding points at the plain-scalar mirror remedy
         assert all("_i' mirror" in m for m in messages)
 
     def test_mirror_slice_write_and_unmirrored_reads_exempt(self):
@@ -80,7 +85,8 @@ class TestRPL001HotPathPurity:
             "_members_i[j]",
             "_members[lo:hi]",
             "_members[j] = value",
-            "_distances[lo]",
+            "_weights[lo]",
+            "bisect_right(index._distances_i",
         ):
             line = next(
                 i
@@ -228,6 +234,74 @@ class TestRPL007ShmOnlyTransport:
         assert result.ok, "\n" + format_findings(result)
 
 
+class TestRPL008ResourceLifecycle:
+    def test_flags_exception_and_branch_leaks_only(self):
+        result = lint_fixture("rpl008_bad.py", ["RPL008"])
+        assert codes_and_lines(result) == [
+            ("RPL008", 14),
+            ("RPL008", 20),
+        ]
+        by_line = {f.line: f.message for f in result.findings}
+        assert "'shm'" in by_line[14]
+        assert "exception escapes" in by_line[14]
+        assert "'pool'" in by_line[20]
+        assert "some paths" in by_line[20]
+
+    def test_release_adoption_and_context_paths_are_clean(self):
+        result = lint_fixture("rpl008_bad.py", ["RPL008"])
+        source = (FIXTURES / "rpl008_bad.py").read_text()
+        clean_starts = [
+            i
+            for i, text in enumerate(source.splitlines(), start=1)
+            if text.startswith("def clean_")
+        ]
+        assert len(clean_starts) == 5  # the fixture ships all clean shapes
+        flagged = {f.line for f in result.findings}
+        # No finding lands at or after the first clean function.
+        assert all(line < min(clean_starts) for line in flagged)
+
+
+class TestRPL009BlockingInAsync:
+    def test_flags_direct_and_transitive_blocking(self):
+        result = lint_fixture("rpl009_bad.py", ["RPL009"])
+        assert codes_and_lines(result) == [
+            ("RPL009", 24),
+            ("RPL009", 28),
+        ]
+        by_line = {f.line: f.message for f in result.findings}
+        assert "time.sleep" in by_line[24]
+        # The transitive finding spells out the sync call chain.
+        assert "handle_transitive" in by_line[28]
+        assert "_sync_layer" in by_line[28]
+        assert "run_batch" in by_line[28]
+
+    def test_run_in_executor_boundary_is_sanctioned(self):
+        result = lint_fixture("rpl009_bad.py", ["RPL009"])
+        assert not any(
+            "handle_executor" in f.message for f in result.findings
+        )
+
+
+class TestRPL010SharedStateSides:
+    def test_flags_unguarded_cross_side_pairs(self):
+        result = lint_fixture("rpl010_bad.py", ["RPL010"])
+        assert codes_and_lines(result) == [
+            ("RPL010", 22),
+            ("RPL010", 43),
+        ]
+        by_line = {f.line: f.message for f in result.findings}
+        assert "_JOBS" in by_line[22]
+        assert "loop side" in by_line[22] and "worker side" in by_line[22]
+        assert "Gateway._last_result" in by_line[43]
+        assert "dispatch side" in by_line[43]
+
+    def test_lock_guarded_pair_is_clean(self):
+        result = lint_fixture("rpl010_bad.py", ["RPL010"])
+        assert not any(
+            "_guarded_result" in f.message for f in result.findings
+        )
+
+
 # ----------------------------------------------------------------------
 # suppressions
 # ----------------------------------------------------------------------
@@ -253,7 +327,7 @@ class TestFramework:
         codes = [code for code, _name, _summary in rule_catalog()]
         assert codes == [
             "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
-            "RPL007",
+            "RPL007", "RPL008", "RPL009", "RPL010",
         ]
 
     def test_get_rules_rejects_unknown_codes(self):
@@ -274,6 +348,33 @@ class TestFramework:
         result = lint_fixture("rpl001_bad.py", ["RPL001"])
         text = format_findings(result)
         assert "RPL001: 3" in text.splitlines()[-1]
+
+    def test_sarif_output_shape(self):
+        result = lint_fixture("rpl001_bad.py", ["RPL001"])
+        doc = json.loads(format_sarif(result))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "RPL001" in rule_ids
+        assert len(run["results"]) == len(result.findings)
+        for sarif_result, finding in zip(run["results"], result.findings):
+            assert sarif_result["ruleId"] == finding.code
+            assert rule_ids[sarif_result["ruleIndex"]] == finding.code
+            assert sarif_result["message"]["text"] == finding.message
+            region = sarif_result["locations"][0]["physicalLocation"]
+            assert region["region"]["startLine"] == finding.line
+            assert region["region"]["startColumn"] == finding.col + 1
+            assert region["artifactLocation"]["uri"].endswith(
+                "rpl001_bad.py"
+            )
+
+    def test_sarif_omits_suppressed_findings(self):
+        result = lint_fixture("suppression_ok.py", ["RPL001"])
+        assert result.suppressed  # the fixture's point
+        doc = json.loads(format_sarif(result))
+        assert doc["runs"][0]["results"] == []
 
     def test_import_graph_and_reachability(self):
         project = Project.from_paths([PACKAGE_DIR])
@@ -311,7 +412,65 @@ class TestShippedTree:
     def test_cli_list_rules(self, capsys):
         assert cli_main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        assert "RPL001" in out and "RPL007" in out
+        assert "RPL001" in out and "RPL007" in out and "RPL010" in out
+
+    def test_cli_sarif_flag(self, capsys):
+        rc = cli_main(
+            ["lint", "--sarif", str(FIXTURES / "rpl001_bad.py"),
+             "--rules", "RPL001"]
+        )
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "reprolint"
+        assert doc["runs"][0]["results"]
+
+    def test_cli_changed_scopes_to_git_diff(self, capsys, tmp_path,
+                                            monkeypatch):
+        import subprocess
+
+        def git(*argv):
+            subprocess.run(
+                ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                 *argv],
+                cwd=tmp_path, check=True, capture_output=True,
+            )
+
+        git("init", "-q")
+        committed = tmp_path / "committed.py"
+        committed.write_text(
+            "# reprolint-module: repro.ltj.fixture_committed\n"
+            "def f(ring, j):\n"
+            "    return ring._members[j]\n"
+        )
+        git("add", "committed.py")
+        git("commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tmp_path)
+
+        # Clean tree: nothing changed, nothing linted, exit 0.
+        assert cli_main(["lint", "--changed", "--format=json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["modules_checked"] == 0
+
+        # An untracked violating file is picked up without touching
+        # the committed (equally violating) one.
+        changed = tmp_path / "fresh.py"
+        changed.write_text(
+            "# reprolint-module: repro.ltj.fixture_fresh\n"
+            "def g(ring, j):\n"
+            "    return ring._members[j]\n"
+        )
+        assert cli_main(["lint", "--changed", "--format=json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["modules_checked"] == 1
+        assert doc["findings"]
+        assert {f["path"] for f in doc["findings"]} == {str(changed)}
+
+    def test_cli_changed_outside_git_fails_loud(self, capsys, tmp_path,
+                                                monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "--changed"]) == 2
+        assert "--changed requires git" in capsys.readouterr().err
 
 
 @pytest.mark.skipif(
