@@ -96,6 +96,9 @@ OBS_GUARD_PREFIXES: tuple[str, ...] = (
     # The query server's metrics/trace plumbing handles trace objects
     # the same way engines do: only ever behind an `is not None` guard.
     "repro.serve",
+    # The cross-query cache replays traced stats into hit results and
+    # annotates trace.meta on probe/fill; same guard discipline applies.
+    "repro.cache",
 )
 
 OBS_EXEMPT_PREFIXES: tuple[str, ...] = ("repro.obs",)
@@ -154,6 +157,19 @@ ENGINE_MODULE_PREFIXES: tuple[str, ...] = (
     # The query server sits on top of engines; anything in it that
     # grows an `evaluate` method owes the same QueryResult contract.
     "repro.serve",
+    # The cross-query cache sits between engines: anything in it that
+    # grows an `evaluate` method owes the same QueryResult contract.
+    "repro.cache",
+)
+
+#: Call-name last segments whose return value counts as a blessed
+#: ``QueryResult`` inside an engine's ``evaluate``: the constructor
+#: itself, a delegated ``.evaluate(...)``, and ``QueryCache.probe``,
+#: which is typed ``QueryResult | None`` and only ever returned behind
+#: an ``is not None`` guard (the cache-hit fast path in
+#: ``AutoEngine.evaluate``).
+ENGINE_RESULT_FACTORIES: frozenset[str] = frozenset(
+    {"QueryResult", "evaluate", "probe"}
 )
 
 # ----------------------------------------------------------------------
@@ -199,6 +215,9 @@ RESOURCE_PREFIXES: tuple[str, ...] = (
     "repro.parallel",
     "repro.store",
     "repro.serve",
+    # The cache stands up stores/engines in its CLI stats workload path
+    # and may grow spill files; its acquisitions are leak-checked too.
+    "repro.cache",
 )
 
 #: Call-name *last segments* whose return value is a leak-checked

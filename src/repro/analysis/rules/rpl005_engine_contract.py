@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 from repro.analysis import astutil
 from repro.analysis.config import (
     ENGINE_MODULE_PREFIXES,
+    ENGINE_RESULT_FACTORIES,
     RELATION_EXEMPT_MODULES,
     RELATION_MODULE_PREFIXES,
     in_scope,
@@ -44,13 +45,15 @@ def _methods(klass: ast.ClassDef) -> dict[str, ast.FunctionDef | ast.AsyncFuncti
 
 
 def _is_result_expr(expr: ast.expr, result_names: set[str]) -> bool:
-    """``QueryResult(...)`` / ``<x>.evaluate(...)`` / blessed name."""
+    """Factory call (``QueryResult(...)``, ``.evaluate(...)``,
+    ``cache.probe(...)`` — see ``ENGINE_RESULT_FACTORIES``) or name
+    bound to one."""
     if isinstance(expr, ast.Call):
         chain = astutil.call_name(expr)
         if chain is None:
             return False
         last = chain.split(".")[-1]
-        return last in {"QueryResult", "evaluate"}
+        return last in ENGINE_RESULT_FACTORIES
     if isinstance(expr, ast.Name):
         return expr.id in result_names
     return False

@@ -22,6 +22,13 @@ three measurement groups:
   serial ``auto`` loop. Diffs against documents that predate the group
   simply skip it (wall diffs walk shared keys only), and its solution
   counts are cross-checked against the serial pass at record time;
+* **cache** — the cross-query result cache (:mod:`repro.cache`):
+  three serial ``auto`` passes over the same workload — **cold** (no
+  cache), **fill** (first contact with a fresh cache: evaluation plus
+  admission), **warm** (the repeat-traffic pass a server pays once the
+  cache is populated). Warm solutions are asserted byte-identical to
+  cold at record time; the warm entry records the hit rate and the
+  headline ``speedup_vs_cold``;
 * **store** — the persistent-index cold-start comparison
   (:mod:`repro.store`): serializing the built indexes to disk,
   **build-to-first-query** (index the raw tables, then answer one
@@ -103,6 +110,9 @@ class BenchConfig:
 
     store: bool = True
     """Run the persistent-index build-vs-load cold-start section."""
+
+    cache: bool = True
+    """Run the cross-query cache cold/fill/warm section."""
 
     label: str = ""
 
@@ -372,6 +382,76 @@ def _parallel_pass(db, workload, config: BenchConfig) -> dict[str, dict]:
     return out
 
 
+def _cache_pass(db, workload, config: BenchConfig) -> dict[str, dict]:
+    """Cross-query cache cold/fill/warm comparison over the workload.
+
+    Three serial ``auto`` passes over the flattened Figure-2 workload:
+    **cold** runs without a cache (the reference), **fill** runs the
+    same batch against a fresh :class:`repro.cache.QueryCache` (every
+    admissible query pays its evaluation plus the admission copy), and
+    **warm** repeats the batch against the now-populated cache — the
+    pass a server's repeat traffic pays. Warm solutions must be
+    byte-identical to the cold pass (asserted at record time, skipping
+    only queries that timed out on either side); the warm entry
+    records the observed hit rate and ``speedup_vs_cold``, the
+    headline warm-hit payoff the cache benchmark gates.
+    """
+    from repro.cache import QueryCache
+    from repro.engines.auto import AutoEngine
+
+    queries = [
+        query
+        for _family, family_queries in sorted(workload.items())
+        for query in family_queries
+    ]
+
+    def sweep(engine) -> tuple[dict, list]:
+        started = time.perf_counter()
+        results = [
+            engine.evaluate(query, timeout=config.timeout)
+            for query in queries
+        ]
+        total_s = time.perf_counter() - started
+        return {
+            "queries": len(queries),
+            "total_s": total_s,
+            "solutions": sum(len(r.solutions) for r in results),
+            "timeouts": sum(int(r.timed_out) for r in results),
+        }, results
+
+    cold_entry, cold_results = sweep(AutoEngine(db))
+    cache = QueryCache()
+    cached_engine = AutoEngine(db, cache=cache)
+    fill_entry, _fill_results = sweep(cached_engine)
+    warm_entry, warm_results = sweep(cached_engine)
+
+    for query, cold, warm in zip(queries, cold_results, warm_results):
+        if cold.timed_out or warm.timed_out:
+            continue
+        if warm.solutions != cold.solutions:
+            raise ValidationError(
+                f"cached evaluation changed the solutions of {query}"
+            )
+
+    stats = cache.stats()
+    probes = stats["hits"] + stats["misses"]
+    warm_entry["hits"] = sum(int(r.cached) for r in warm_results)
+    warm_entry["hit_rate"] = (
+        stats["hits"] / probes if probes else 0.0
+    )
+    warm_entry["speedup_vs_cold"] = (
+        cold_entry["total_s"] / warm_entry["total_s"]
+        if warm_entry["total_s"] > 0
+        else 0.0
+    )
+    return {
+        "cold": cold_entry,
+        "fill": fill_entry,
+        "warm": warm_entry,
+        "stats": {key: int(stats[key]) for key in sorted(stats)},
+    }
+
+
 def _store_pass(bench, db, workload, config: BenchConfig) -> dict[str, dict]:
     """Persistent-index cold start versus the bundle-parse-and-build path.
 
@@ -517,6 +597,7 @@ def run_bench(config: BenchConfig, date: str | None = None) -> dict:
         else {}
     )
     store = _store_pass(bench, db, workload, config) if config.store else {}
+    cache = _cache_pass(db, workload, config) if config.cache else {}
     doc = {
         "version": BENCH_VERSION,
         "date": date,
@@ -528,6 +609,7 @@ def run_bench(config: BenchConfig, date: str | None = None) -> dict:
         "micro": micro,
         "parallel": parallel,
         "store": store,
+        "cache": cache,
         "totals": {
             "figure2_wall_s": float(
                 sum(entry["total_s"] for entry in figure2.values())
@@ -597,9 +679,11 @@ def _walk_wall(doc: dict, saturated: set[str]) -> dict[str, float]:
     one side stays in — that asymmetry is a real signal).
     """
     out: dict[str, float] = {}
-    for group in ("figure2", "micro", "store"):
+    for group in ("figure2", "micro", "store", "cache"):
         for key, entry in doc.get(group, {}).items():
             if group == "figure2" and key in saturated:
+                continue
+            if "total_s" not in entry:  # e.g. the cache stats snapshot
                 continue
             out[f"{group}:{key}"] = float(entry["total_s"])
     for key, value in doc.get("totals", {}).items():

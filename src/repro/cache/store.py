@@ -1,0 +1,443 @@
+"""Cost-aware, epoch-invalidated cross-query result cache.
+
+:class:`QueryCache` stores fully-enumerated query results keyed on the
+canonical form of :mod:`repro.cache.canonical`:
+
+* **Key** — ``(signature, profile, engine)``. The signature groups
+  isomorphic queries; the profile restricts reuse to pure variable
+  renamings (the only transformation guaranteed to preserve the
+  engines' solution enumeration order, see the canonical module); the
+  engine name keeps ``ring-knn`` and ``ring-knn-s`` entries apart
+  (they enumerate in different orders).
+
+* **Payload** — solutions packed as one little-endian ``int64``
+  matrix (the same representation the shared-memory transport ships
+  between processes), one column per variable in first-seen order,
+  plus the :class:`~repro.ltj.stats.EvaluationStats` counters with
+  variables recorded as first-seen *ranks* so a hit can rebuild
+  byte-identical stats under the probing query's own variable names.
+
+* **Admission** — cost-aware: an entry is admitted only when its
+  observed cost (EWMA seconds fed back from
+  ``QueryScheduler.record_elapsed``, or the measured elapsed time)
+  clears ``CacheConfig.min_cost_s``, it did not time out, and it fits
+  the byte budget. Timed-out results are never cached (they are
+  truncated at a wall-clock-dependent point).
+
+* **Eviction** — cost×recency: when the byte budget overflows, the
+  entry with the lowest ``cost / age`` score goes first, so cheap
+  stale entries make room before expensive recent ones.
+
+* **Invalidation** — every entry is stamped with the database's
+  mutation epoch (:attr:`repro.engines.database.GraphDatabase.epoch`,
+  seeded from the persistent store's payload checksum) and checked on
+  lookup; a bumped epoch or a hot-swapped index file silently
+  invalidates on first probe.
+
+A second, first-level table caches the leading variable and its
+candidate list for the domain-sharded parallel executor — the subplan
+granularity of Mhedhbi & Salihoglu — together with the leapfrog
+counter deltas the computation would have added, so replaying a hit
+keeps merged op counts byte-identical to a cold run.
+
+All counters and tables are guarded by one lock: the serve layer
+mutates the cache from its dispatch thread while ``/metrics`` scrapes
+:meth:`QueryCache.stats` from the asyncio loop thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.cache.canonical import (
+    CanonicalizationError,
+    canonicalize,
+    first_seen_variables,
+)
+from repro.engines.result import QueryResult
+from repro.ltj.stats import EvaluationStats
+from repro.query.model import ExtendedBGP, Var
+
+#: Default byte budget for packed solution matrices (32 MiB).
+DEFAULT_MAX_BYTES = 32 << 20
+
+#: Fixed per-entry overhead charged against the byte budget (keys,
+#: counters, dict slots) on top of the packed matrix itself.
+ENTRY_OVERHEAD_BYTES = 512
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Sizing and admission policy of one :class:`QueryCache`."""
+
+    max_bytes: int = DEFAULT_MAX_BYTES
+    """Byte budget over all packed solution matrices."""
+
+    min_cost_s: float = 0.0
+    """Observed-cost admission floor in seconds (0 admits everything
+    that completed; a server can raise it to keep only queries worth
+    remembering)."""
+
+    max_entry_fraction: float = 0.5
+    """A single entry larger than this fraction of ``max_bytes`` is
+    inadmissible outright (it would evict half the cache)."""
+
+    first_level_entries: int = 256
+    """LRU capacity of the first-level candidate/subplan table."""
+
+
+@dataclass
+class _Entry:
+    engine: str
+    packed: np.ndarray  # (solutions, variables) little-endian int64
+    n_vars: int
+    stat_counters: tuple[int, int, int, int]  # solutions/bindings/attempts/leaps
+    descent_ranks: tuple[int, ...]
+    sim_ranks: tuple[int, ...]
+    epoch: int
+    cost_s: float
+    nbytes: int
+    last_used: int = 0
+    hits: int = 0
+
+
+@dataclass
+class FirstLevelHit:
+    """A cached leading-variable subplan, remapped to the probe query."""
+
+    variable: Var
+    candidates: tuple[int, ...]
+    attempts: int
+    leap_calls: int
+
+
+@dataclass
+class _FirstLevelEntry:
+    epoch: int
+    variable_rank: int
+    candidates: tuple[int, ...]
+    attempts: int
+    leap_calls: int
+
+
+def database_epoch(db) -> int:
+    """Mutation epoch of ``db`` (0 for objects that predate epochs)."""
+    epoch = getattr(db, "epoch", None)
+    return int(epoch) if epoch is not None else 0
+
+
+def _pack(solutions: list[dict[Var, int]], variables: tuple[Var, ...]):
+    packed = np.empty((len(solutions), len(variables)), dtype="<i8")
+    for row, solution in enumerate(solutions):
+        packed[row] = [solution[var] for var in variables]
+    return packed
+
+
+class QueryCache:
+    """Size-bounded semantic result cache shared across queries."""
+
+    def __init__(self, config: CacheConfig | None = None) -> None:
+        self.config = config or CacheConfig()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._first_level: OrderedDict[tuple, _FirstLevelEntry] = OrderedDict()
+        self._bytes = 0
+        self._tick = 0
+        self._hits = 0
+        self._misses = 0
+        self._fills = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._inadmissible = 0
+        self._first_level_hits = 0
+        self._first_level_misses = 0
+
+    # -- canonical forms -------------------------------------------------
+    def _canonical(self, query: ExtendedBGP):
+        try:
+            return canonicalize(query)
+        except CanonicalizationError:
+            return None
+
+    # -- result cache -----------------------------------------------------
+    def probe(
+        self,
+        db,
+        query: ExtendedBGP,
+        *,
+        engine: str,
+        meta: dict | None = None,
+    ) -> QueryResult | None:
+        """Look up ``query`` for ``engine``; rebuild the result on a hit.
+
+        The returned :class:`QueryResult` carries ``cached=True``,
+        solutions byte-identical to the producing cold run (remapped to
+        this query's variable names), the producer's replayed counters,
+        and the real retrieval time as ``elapsed``.
+        """
+        started = perf_counter()
+        form = self._canonical(query)
+        if form is None:
+            if meta is not None:
+                meta["outcome"] = "inadmissible"
+                meta["reason"] = "uncanonical"
+            with self._lock:
+                self._inadmissible += 1
+            return None
+        key = (form.signature, form.profile, engine)
+        epoch = database_epoch(db)
+        with self._lock:
+            self._tick += 1
+            entry = self._entries.get(key)
+            if entry is not None and entry.epoch != epoch:
+                self._drop_locked(key, entry)
+                self._invalidations += 1
+                entry = None
+            if entry is None:
+                self._misses += 1
+                if meta is not None:
+                    meta["outcome"] = "miss"
+                    meta["signature"] = form.signature
+                return None
+            entry.last_used = self._tick
+            entry.hits += 1
+            self._hits += 1
+            rows = entry.packed.tolist()
+        variables = form.variables
+        solutions = [dict(zip(variables, row)) for row in rows]
+        stats = EvaluationStats()
+        (
+            stats.solutions,
+            stats.bindings,
+            stats.attempts,
+            stats.leap_calls,
+        ) = entry.stat_counters
+        stats.first_descent_order = [
+            variables[rank] for rank in entry.descent_ranks
+        ]
+        stats.sim_variables = frozenset(
+            variables[rank] for rank in entry.sim_ranks
+        )
+        stats.elapsed = perf_counter() - started
+        if meta is not None:
+            meta["event"] = "cache_hit"
+            meta["outcome"] = "hit"
+            meta["signature"] = form.signature
+            meta["engine"] = entry.engine
+        return QueryResult(
+            engine=entry.engine,
+            solutions=solutions,
+            stats=stats,
+            phase_seconds={"cache": stats.elapsed},
+            cached=True,
+        )
+
+    def fill(
+        self,
+        db,
+        query: ExtendedBGP,
+        result: QueryResult,
+        *,
+        engine: str | None = None,
+        cost_s: float | None = None,
+        meta: dict | None = None,
+    ) -> bool:
+        """Admit a cold ``result`` if the policy allows; returns success.
+
+        ``cost_s`` is the observed cost driving admission and eviction —
+        pass the scheduler's EWMA estimate when one exists, else the
+        measured ``result.elapsed`` is used.
+        """
+        engine_name = engine if engine is not None else result.engine
+
+        def note(stored: bool, reason: str) -> bool:
+            if meta is not None:
+                meta["stored"] = stored
+                if not stored:
+                    meta["store_reason"] = reason
+            return stored
+
+        if result.timed_out:
+            with self._lock:
+                self._inadmissible += 1
+            return note(False, "timed out")
+        form = self._canonical(query)
+        if form is None:
+            with self._lock:
+                self._inadmissible += 1
+            return note(False, "uncanonical")
+        if meta is not None:
+            meta.setdefault("signature", form.signature)
+        cost = float(cost_s) if cost_s is not None else float(result.elapsed)
+        if cost < self.config.min_cost_s:
+            with self._lock:
+                self._inadmissible += 1
+            return note(False, "below cost floor")
+        variables = form.variables
+        try:
+            packed = _pack(result.solutions, variables)
+        except KeyError:
+            # A projected/partial solution set cannot be replayed.
+            with self._lock:
+                self._inadmissible += 1
+            return note(False, "unbound variable")
+        nbytes = int(packed.nbytes) + ENTRY_OVERHEAD_BYTES
+        if nbytes > self.config.max_bytes * self.config.max_entry_fraction:
+            with self._lock:
+                self._inadmissible += 1
+            return note(False, "over byte budget")
+
+        rank_of = {var: i for i, var in enumerate(variables)}
+        stats = result.stats
+        entry = _Entry(
+            engine=engine_name,
+            packed=packed,
+            n_vars=len(variables),
+            stat_counters=(
+                int(stats.solutions),
+                int(stats.bindings),
+                int(stats.attempts),
+                int(stats.leap_calls),
+            ),
+            descent_ranks=tuple(
+                rank_of[var]
+                for var in stats.first_descent_order
+                if var in rank_of
+            ),
+            sim_ranks=tuple(
+                sorted(
+                    rank_of[var]
+                    for var in stats.sim_variables
+                    if var in rank_of
+                )
+            ),
+            epoch=database_epoch(db),
+            cost_s=cost,
+            nbytes=nbytes,
+        )
+        key = (form.signature, form.profile, engine_name)
+        with self._lock:
+            self._tick += 1
+            entry.last_used = self._tick
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._evict_locked(nbytes)
+            self._entries[key] = entry
+            self._bytes += nbytes
+            self._fills += 1
+        return note(True, "")
+
+    def _drop_locked(self, key: tuple, entry: _Entry) -> None:
+        del self._entries[key]
+        self._bytes -= entry.nbytes
+
+    def _evict_locked(self, incoming: int) -> None:
+        while self._entries and self._bytes + incoming > self.config.max_bytes:
+            victim_key = min(
+                self._entries,
+                key=lambda k: self._score_locked(self._entries[k]),
+            )
+            victim = self._entries.pop(victim_key)
+            self._bytes -= victim.nbytes
+            self._evictions += 1
+
+    def _score_locked(self, entry: _Entry) -> float:
+        age = self._tick - entry.last_used + 1
+        return entry.cost_s / age
+
+    # -- first-level subplan cache -----------------------------------------
+    def first_level_probe(
+        self, db, query: ExtendedBGP, engine: str
+    ) -> FirstLevelHit | None:
+        """Cached leading variable + candidates for the parallel executor."""
+        form = self._canonical(query)
+        if form is None:
+            return None
+        key = (form.signature, form.profile, engine)
+        epoch = database_epoch(db)
+        with self._lock:
+            entry = self._first_level.get(key)
+            if entry is not None and entry.epoch != epoch:
+                del self._first_level[key]
+                self._invalidations += 1
+                entry = None
+            if entry is None:
+                self._first_level_misses += 1
+                return None
+            self._first_level.move_to_end(key)
+            self._first_level_hits += 1
+            return FirstLevelHit(
+                variable=form.variables[entry.variable_rank],
+                candidates=entry.candidates,
+                attempts=entry.attempts,
+                leap_calls=entry.leap_calls,
+            )
+
+    def first_level_fill(
+        self,
+        db,
+        query: ExtendedBGP,
+        engine: str,
+        variable: Var,
+        candidates,
+        *,
+        attempts: int,
+        leap_calls: int,
+    ) -> bool:
+        form = self._canonical(query)
+        if form is None:
+            return False
+        try:
+            rank = form.variables.index(variable)
+        except ValueError:
+            return False
+        key = (form.signature, form.profile, engine)
+        entry = _FirstLevelEntry(
+            epoch=database_epoch(db),
+            variable_rank=rank,
+            candidates=tuple(int(c) for c in candidates),
+            attempts=int(attempts),
+            leap_calls=int(leap_calls),
+        )
+        with self._lock:
+            self._first_level[key] = entry
+            self._first_level.move_to_end(key)
+            while len(self._first_level) > self.config.first_level_entries:
+                self._first_level.popitem(last=False)
+        return True
+
+    # -- maintenance --------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are lifetime totals)."""
+        with self._lock:
+            self._entries.clear()
+            self._first_level.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters plus current occupancy (thread-safe snapshot)."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "fills": self._fills,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+                "inadmissible": self._inadmissible,
+                "first_level_hits": self._first_level_hits,
+                "first_level_misses": self._first_level_misses,
+                "entries": len(self._entries),
+                "first_level_entries": len(self._first_level),
+                "bytes": self._bytes,
+                "max_bytes": self.config.max_bytes,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

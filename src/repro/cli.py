@@ -7,8 +7,9 @@ Subcommands::
     repro query     --data bench.npz --query "(?x, 0, ?y) . knn(?x, ?y, 5)"
     repro explain   --data bench.npz --query "..." [--engine ring-knn --analyze]
     repro trace     --data bench.npz --query "..." [--engine auto --out t.json]
-    repro serve-batch --data bench.npz --queries q.txt [--workers N]
-    repro serve     --from-index bench.idx [--port P --workers N ...]
+    repro serve-batch --data bench.npz --queries q.txt [--workers N --no-cache]
+    repro serve     --from-index bench.idx [--port P --workers N --no-cache ...]
+    repro cache     stats [--server http://host:port | --data ... --queries ...]
     repro figure2   --timeout 15 [--scale flags]
     repro figure3   [--dataset anuran|drybean --scale 0.12 --K 40]
     repro space     [--scale flags]
@@ -214,6 +215,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    cache = None
+    if args.analyze and args.cache:
+        from repro.cache import QueryCache
+
+        cache = QueryCache()
     db = _db_from_args(args)
     try:
         query = parse_query(args.query)
@@ -224,6 +230,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             analyze=args.analyze,
             timeout=args.timeout,
             workers=args.workers,
+            cache=cache,
         )
         print(report.format())
         return 0
@@ -231,36 +238,53 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         db.close()
 
 
-def _cmd_serve_batch(args: argparse.Namespace) -> int:
-    from repro.parallel.scheduler import QueryScheduler
+def _read_query_file(path: str) -> tuple[list[str], list]:
+    """Parse a one-query-per-line file (``#`` comments allowed).
+
+    Returns ``(texts, queries)``; raises typed errors naming the
+    offending line so ``main`` renders them without a traceback.
+    """
     from repro.utils.errors import QueryError, ValidationError
 
+    try:
+        with open(path, encoding="utf-8") as handle:
+            texts = [
+                line.strip()
+                for line in handle
+                if line.strip() and not line.lstrip().startswith("#")
+            ]
+    except OSError as exc:
+        raise ValidationError(
+            f"cannot read query file {path!r}: {exc}"
+        ) from exc
+    queries = []
+    for number, text in enumerate(texts, start=1):
+        try:
+            queries.append(parse_query(text))
+        except (QueryError, ValidationError) as exc:
+            raise QueryError(
+                f"{path}: malformed query on non-comment "
+                f"line {number}: {text!r}: {exc}"
+            ) from exc
+    return texts, queries
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.parallel.scheduler import QueryScheduler
+
+    cache = None
+    if args.cache:
+        from repro.cache import QueryCache
+
+        cache = QueryCache()
     db = _db_from_args(args)
     try:
-        try:
-            with open(args.queries, encoding="utf-8") as handle:
-                texts = [
-                    line.strip()
-                    for line in handle
-                    if line.strip() and not line.lstrip().startswith("#")
-                ]
-        except OSError as exc:
-            raise ValidationError(
-                f"cannot read query file {args.queries!r}: {exc}"
-            ) from exc
-        queries = []
-        for number, text in enumerate(texts, start=1):
-            try:
-                queries.append(parse_query(text))
-            except (QueryError, ValidationError) as exc:
-                raise QueryError(
-                    f"{args.queries}: malformed query on non-comment "
-                    f"line {number}: {text!r}: {exc}"
-                ) from exc
+        texts, queries = _read_query_file(args.queries)
         scheduler = QueryScheduler(
             db,
             workers=args.workers,
             parallel_threshold=args.parallel_threshold,
+            cache=cache,
         )
         try:
             plans = [
@@ -288,6 +312,12 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             f"{len(results)} queries, {total} solutions "
             f"({args.workers} workers)"
         )
+        if cache is not None:
+            stats = cache.stats()
+            print(
+                f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+                f"{stats['fills']} fills, {stats['bytes']} bytes"
+            )
         return 0
     finally:
         db.close()
@@ -297,6 +327,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeConfig, run_server
 
     db = _db_from_args(args)
+    overrides = {}
+    if args.cache_bytes is not None:
+        overrides["cache_bytes"] = args.cache_bytes
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -306,11 +339,71 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout=args.timeout,
         drain_grace=args.drain_grace,
         debug_faults=args.debug_faults,
+        cache=args.cache,
+        **overrides,
     )
     try:
         return run_server(db, config)
     finally:
         db.close()
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache stats``: scrape a server or replay a workload."""
+    from repro.utils.errors import ValidationError
+
+    if args.server:
+        from urllib.request import urlopen
+
+        url = args.server.rstrip("/") + "/metrics?format=json"
+        try:
+            with urlopen(url, timeout=args.timeout) as response:
+                document = json.loads(response.read().decode("utf-8"))
+        except OSError as exc:
+            raise ValidationError(
+                f"cannot scrape {url!r}: {exc}"
+            ) from exc
+        stats = document.get("cache")
+        if stats is None:
+            print(
+                "repro cache: the server runs without a cache "
+                "(started with --no-cache)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        if not (args.data or args.from_index) or not args.queries:
+            raise ValidationError(
+                "repro cache stats needs --server URL, or a database "
+                "(--data/--from-index) plus --queries to replay locally"
+            )
+        from repro.cache import QueryCache
+        from repro.parallel.scheduler import QueryScheduler
+
+        db = _db_from_args(args)
+        try:
+            _texts, queries = _read_query_file(args.queries)
+            cache = QueryCache()
+            scheduler = QueryScheduler(
+                db,
+                workers=args.workers,
+                parallel_threshold=args.parallel_threshold,
+                cache=cache,
+            )
+            try:
+                for _ in range(max(1, args.repeat)):
+                    scheduler.run_batch(queries, timeout=args.timeout)
+            finally:
+                scheduler.close()
+            stats = dict(cache.stats())
+        finally:
+            db.close()
+    probes = stats.get("hits", 0) + stats.get("misses", 0)
+    stats["hit_rate"] = (
+        round(stats.get("hits", 0) / probes, 4) if probes else 0.0
+    )
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -425,6 +518,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         micro=not args.no_micro,
         parallel_workers=parallel_workers,
         store=not args.no_store,
+        cache=args.cache,
         label=args.label,
     )
     date = _time.strftime("%Y-%m-%d")
@@ -446,6 +540,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"({store['load_first_query']['speedup_vs_build']:.0f}x), "
             "mapped steady-state "
             f"{store['mapped_steady']['parity_vs_built']:.2f}x of built"
+        )
+    cache = doc.get("cache") or {}
+    if cache:
+        warm = cache["warm"]
+        print(
+            f"cache: warm pass {warm['speedup_vs_cold']:.1f}x faster "
+            f"than cold, hit rate {warm['hit_rate']:.0%} "
+            f"({warm['hits']}/{warm['queries']} warm hits)"
         )
     if args.baseline:
         baseline = load_bench(args.baseline)
@@ -621,6 +723,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="EXPLAIN ANALYZE: execute the query and report the "
         "observed leap/intersection/binding counters and phase timings",
     )
+    p.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="probe/fill a cross-query cache during --analyze and "
+        "render the outcome (hit/miss/inadmissible + signature)",
+    )
     p.add_argument("--timeout", type=float, default=60.0)
     p.set_defaults(func=_cmd_explain)
 
@@ -661,6 +770,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--timeout", type=float, default=60.0)
     p.add_argument("--limit", type=int, default=None)
+    p.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share a cross-query result cache across the batch "
+        "(repeated/renamed queries answer from it)",
+    )
     p.add_argument(
         "--verbose", action="store_true", help="echo each query text"
     )
@@ -708,7 +824,68 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="allow the 'debug' request field (fault-injection tests)",
     )
+    p.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share a cross-query result cache between all routes "
+        "(per-request 'cached' field, /metrics counters)",
+    )
+    p.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="byte budget of the cache's packed solution matrices "
+        "(default 32 MiB)",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect the cross-query cache (see docs/caching.md)",
+    )
+    p.add_argument(
+        "action",
+        choices=["stats"],
+        help="'stats' prints hit/miss/fill/eviction counters as JSON",
+    )
+    p.add_argument(
+        "--server",
+        default=None,
+        help="scrape a running 'repro serve' (http://host:port); "
+        "otherwise replay --queries locally against --data/--from-index",
+    )
+    group = p.add_mutually_exclusive_group(required=False)
+    group.add_argument("--data", help=".npz bundle (indexed on load)")
+    group.add_argument(
+        "--from-index",
+        help="persistent index file from 'repro build' (mmap)",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the --from-index payload checksum",
+    )
+    p.add_argument(
+        "--queries",
+        default=None,
+        help="text file, one query per line ('#' comments allowed)",
+    )
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="times to replay the workload (>= 2 exercises warm hits)",
+    )
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--parallel-threshold",
+        type=int,
+        default=256,
+        help="first-level estimate above which a query is domain-sharded",
+    )
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("figure2", help="regenerate Figure 2")
     _add_scale_flags(p)
@@ -749,6 +926,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-store",
         action="store_true",
         help="skip the persistent-index build-vs-load cold-start section",
+    )
+    p.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run (default) or skip (--no-cache) the cross-query cache "
+        "cold/fill/warm section",
     )
     p.add_argument(
         "--parallel-workers",

@@ -40,6 +40,7 @@ class AutoEngine:
         db: GraphDatabase,
         exact_estimates: bool = False,
         workers: int = 1,
+        cache: object | None = None,
     ) -> None:
         self._db = db
         self._exact_estimates = exact_estimates
@@ -48,6 +49,9 @@ class AutoEngine:
         self.workers = int(workers)
         self._parallel: dict[str, object] = {}
         self._owned_store: object | None = None
+        #: Optional :class:`repro.cache.QueryCache` probed before and
+        #: filled after every full (un-limited) evaluation.
+        self.cache = cache
 
     @classmethod
     def from_index(
@@ -117,6 +121,13 @@ class AutoEngine:
         The result's ``engine`` field names the strategy actually used;
         with ``trace``, the selection and its reason land in
         ``trace.meta["auto"]``.
+
+        When a :attr:`cache` is attached and no ``limit`` is set, the
+        cache is probed before execution and filled afterwards; a hit
+        returns the replayed result (``cached=True``) and, with
+        ``trace``, records a ``cache_hit`` event in
+        ``trace.meta["cache"]`` with the replayed counters — never
+        silent zeros.
         """
         selected = self.select(query)
         if trace is not None:
@@ -126,15 +137,37 @@ class AutoEngine:
                 "constraints": n_constraints,
                 "acyclic": ConstraintGraph(query).is_acyclic(),
             }
+        cache = self.cache if limit is None else None
+        cache_info: dict[str, object] = {}
+        if cache is not None:
+            hit = cache.probe(  # type: ignore[attr-defined]
+                self._db, query, engine=selected, meta=cache_info
+            )
+            if hit is not None:
+                if trace is not None:
+                    if trace.engine is None:
+                        trace.engine = hit.engine
+                    trace.meta["cache"] = cache_info
+                    trace.finish(hit.stats)
+                    hit.trace = trace
+                return hit
         if self.workers >= 2:
             engine = self._parallel_for(selected)
-            return engine.evaluate(
+            result = engine.evaluate(
                 query, timeout=timeout, limit=limit, trace=trace
             )
-        if selected == self._ring_knn_s.name:
-            return self._ring_knn_s.evaluate(
+        elif selected == self._ring_knn_s.name:
+            result = self._ring_knn_s.evaluate(
                 query, timeout=timeout, limit=limit, trace=trace
             )
-        return self._ring_knn.evaluate(
-            query, timeout=timeout, limit=limit, trace=trace
-        )
+        else:
+            result = self._ring_knn.evaluate(
+                query, timeout=timeout, limit=limit, trace=trace
+            )
+        if cache is not None:
+            cache.fill(  # type: ignore[attr-defined]
+                self._db, query, result, engine=selected, meta=cache_info
+            )
+            if trace is not None:
+                trace.meta["cache"] = cache_info
+        return result

@@ -87,6 +87,39 @@ class GraphDatabase:
         """The backing :class:`~repro.store.IndexStore`, if mmap-loaded."""
         return getattr(self, "_store", None)
 
+    # ------------------------------------------------------------------
+    # mutation epoch (cache invalidation)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Mutation epoch stamped into :mod:`repro.cache` entries.
+
+        The base is the persistent store's payload checksum when this
+        database is mmap-backed (so a hot index replace — a different
+        file behind the same server — invalidates every cached entry on
+        first lookup) and 0 for an in-memory build; each
+        :meth:`bump_epoch` call adds one on top. ``getattr`` defaults
+        keep both accessors safe on instances attached without running
+        ``__init__`` (the shm/store attach paths).
+        """
+        base = 0
+        store = getattr(self, "_store", None)
+        if store is not None:
+            header = getattr(store, "header", None)
+            if header is not None:
+                base = int(getattr(header, "checksum", 0))
+        return base + int(getattr(self, "_mutations", 0))
+
+    def bump_epoch(self) -> None:
+        """Record a graph mutation: every cached result becomes stale.
+
+        The indexes themselves are immutable today; embedders that
+        rebuild or patch the underlying structures in place call this
+        so :class:`~repro.cache.QueryCache` drops entries produced
+        against the old contents.
+        """
+        self._mutations = int(getattr(self, "_mutations", 0)) + 1
+
     def close(self) -> None:
         """Release runtime resources bound to this database.
 

@@ -28,6 +28,11 @@ class QueryResult:
     """The :class:`~repro.obs.trace.QueryTrace` passed to ``evaluate``
     (None when tracing was off)."""
 
+    cached: bool = False
+    """True when this result was served from :mod:`repro.cache` (the
+    solutions and counters replay a prior cold run; ``elapsed`` is the
+    retrieval time)."""
+
     @property
     def elapsed(self) -> float:
         """Total wall-clock seconds."""

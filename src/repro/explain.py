@@ -155,8 +155,34 @@ def _format_analysis(trace: QueryTrace) -> list[str]:
         if key == "parallel":
             lines.extend(_format_parallel_meta(value))
             continue
+        if key == "cache":
+            lines.append(_format_cache_meta(value))
+            continue
         lines.append(f"    meta {key}: {value}")
     return lines
+
+
+def _format_cache_meta(meta: dict) -> str:
+    """Render ``trace.meta["cache"]`` as one report line.
+
+    ``hit`` / ``miss`` / ``inadmissible`` plus the canonical signature
+    (when the query canonicalized) and, after a miss, whether the cold
+    result was admitted.
+    """
+    outcome = meta.get("outcome", "miss")
+    line = f"    cache: {outcome}"
+    if meta.get("reason"):
+        line += f" ({meta['reason']})"
+    if meta.get("signature"):
+        line += f" signature={meta['signature']}"
+    if meta.get("engine"):
+        line += f" engine={meta['engine']}"
+    if "stored" in meta:
+        if meta["stored"]:
+            line += " [stored]"
+        else:
+            line += f" [not stored: {meta.get('store_reason', '?')}]"
+    return line
 
 
 def _format_parallel_meta(meta: dict) -> list[str]:
@@ -184,6 +210,7 @@ def explain(
     analyze: bool = False,
     timeout: float | None = None,
     workers: int = 2,
+    cache: object | None = None,
 ) -> PlanReport:
     """Analyze a query — statically, or (``analyze``) by executing it.
 
@@ -201,6 +228,10 @@ def explain(
             ``report.analysis`` (rendered by ``format()``).
         timeout: time budget for the ``analyze`` run.
         workers: pool size of the ``parallel-knn`` analyze run.
+        cache: optional :class:`repro.cache.QueryCache`; the analyze
+            run probes it before executing, fills it after, and the
+            report renders the outcome (hit / miss / inadmissible plus
+            the canonical signature) from ``trace.meta["cache"]``.
     """
     parallel = engine == "parallel-knn"
     base = "ring-knn" if parallel else engine
@@ -281,6 +312,26 @@ def explain(
         report.probe_solutions_found = len(solutions)
     if analyze:
         trace = QueryTrace(query=repr(query))
-        analyze_driver.evaluate(query, timeout=timeout, trace=trace)
+        if cache is None:
+            analyze_driver.evaluate(query, timeout=timeout, trace=trace)
+        else:
+            # Key on the serial base strategy: sharded execution is
+            # byte-identical to it, so parallel-knn shares its entries.
+            cache_info: dict[str, object] = {}
+            hit = cache.probe(  # type: ignore[attr-defined]
+                db, query, engine=base, meta=cache_info
+            )
+            if hit is not None:
+                if trace.engine is None:
+                    trace.engine = hit.engine
+                trace.finish(hit.stats)
+            else:
+                result = analyze_driver.evaluate(
+                    query, timeout=timeout, trace=trace
+                )
+                cache.fill(  # type: ignore[attr-defined]
+                    db, query, result, engine=base, meta=cache_info
+                )
+            trace.meta["cache"] = cache_info
         report.analysis = trace
     return report

@@ -51,7 +51,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
-from repro.ltj.engine import LTJEngine
+from repro.ltj.engine import FirstLevelPlan, LTJEngine
 from repro.ltj.stats import EvaluationStats
 from repro.obs.merge import merge_shard_traces
 from repro.obs.trace import (
@@ -380,6 +380,7 @@ def evaluate_parallel(
     distinct: bool = False,
     trace=None,
     shards_per_worker: int = SHARDS_PER_WORKER,
+    subplan_cache=None,
 ) -> ParallelOutcome | None:
     """Evaluate ``query`` domain-sharded, using ``driver``'s compile
     order and ordering strategy (``driver`` is a serial Ring engine).
@@ -389,6 +390,14 @@ def evaluate_parallel(
     The caller owns the trace's ``engine``/``query`` labels; this
     function records counters, shard metadata (``meta["parallel"]``)
     and finalizes the trace from the merged stats.
+
+    ``subplan_cache`` is an optional :class:`repro.cache.QueryCache`
+    whose first-level table short-circuits the leading-variable
+    leapfrog intersection on repeat shapes; a hit replays the cached
+    candidates *and* the leapfrog counter deltas the computation would
+    have produced, so merged stats stay byte-identical to a cold run.
+    Only untraced runs use it — traced runs must surface real per-op
+    counters.
     """
     db = driver._db
     relations = driver.compile(query)
@@ -408,9 +417,42 @@ def evaluate_parallel(
             trace.query = repr(query)
         instrument_relations(trace, relations)
         attached = attach_wavelets(wavelet_targets(trace, db, query))
-    with attached:
-        plan = engine.first_level()
-    parent = engine.stats
+    first_level_hit = None
+    if subplan_cache is not None and trace is None:
+        first_level_hit = subplan_cache.first_level_probe(
+            db, query, driver.name
+        )
+    if first_level_hit is not None:
+        # Replay the cached subplan: the fresh engine's stats carry the
+        # structural fields (sim_variables) from construction; the
+        # counters and descent entry below are exactly what
+        # ``first_level()`` would have added.
+        parent = engine.stats
+        parent.attempts = first_level_hit.attempts
+        parent.leap_calls = first_level_hit.leap_calls
+        parent.first_descent_order.append(first_level_hit.variable)
+        plan = FirstLevelPlan(
+            first_level_hit.variable, first_level_hit.candidates
+        )
+    else:
+        with attached:
+            plan = engine.first_level()
+        parent = engine.stats
+        if (
+            subplan_cache is not None
+            and trace is None
+            and plan.variable is not None
+            and not parent.timed_out
+        ):
+            subplan_cache.first_level_fill(
+                db,
+                query,
+                driver.name,
+                plan.variable,
+                plan.candidates,
+                attempts=parent.attempts,
+                leap_calls=parent.leap_calls,
+            )
 
     bounds: list[tuple[int, int]] = []
     outcomes: list[ShardOutcome] = []

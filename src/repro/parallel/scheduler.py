@@ -31,6 +31,7 @@ serial ``auto`` engine would have produced for that query.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -68,6 +69,13 @@ MAX_BATCH_SIZE = 8
 #: so the scheduler adapts within a few batches without letting one
 #: noisy wall time dominate.
 FEEDBACK_ALPHA = 0.3
+
+#: Capacity of the observed-cost EWMA table. Shape signatures are
+#: coarse, but a long-running server fed adversarial query text could
+#: still mint unbounded distinct shapes — the table is LRU-bounded
+#: (least-recently *updated* out first) so it cannot grow without
+#: limit.
+MAX_OBSERVED_SHAPES = 1024
 
 
 def query_signature(
@@ -121,6 +129,7 @@ class QueryScheduler:
         parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
         exact_estimates: bool = False,
         max_pending: int | None = None,
+        cache: object | None = None,
     ) -> None:
         self._db = db
         self._auto = AutoEngine(db, exact_estimates=exact_estimates)
@@ -130,8 +139,15 @@ class QueryScheduler:
         self.max_pending = (
             max_pending if max_pending is not None else 2 * max(1, workers)
         )
-        #: EWMA of observed per-query seconds, keyed by shape signature.
-        self._observed_s: dict[tuple[str, int, int, int], float] = {}
+        #: Optional :class:`repro.cache.QueryCache` probed before any
+        #: classification/dispatch and filled from completed results.
+        self.cache = cache
+        #: EWMA of observed per-query seconds, keyed by shape signature
+        #: and LRU-bounded at :data:`MAX_OBSERVED_SHAPES` (least
+        #: recently updated shape evicted first).
+        self._observed_s: OrderedDict[
+            tuple[str, int, int, int], float
+        ] = OrderedDict()
         #: EWMA of observed seconds per estimate unit, the bridge that
         #: prices still-unseen shapes in the same currency.
         self._seconds_per_unit: float | None = None
@@ -159,6 +175,9 @@ class QueryScheduler:
             if previous is None
             else previous + FEEDBACK_ALPHA * (elapsed - previous)
         )
+        self._observed_s.move_to_end(plan.signature)
+        while len(self._observed_s) > MAX_OBSERVED_SHAPES:
+            self._observed_s.popitem(last=False)
         if plan.estimate > 0:
             unit = elapsed / plan.estimate
             self._seconds_per_unit = (
@@ -295,6 +314,12 @@ class QueryScheduler:
         per-request deadlines: by dispatch time different requests have
         different remaining budgets); it overrides the uniform
         ``timeout`` position for position.
+
+        With a :attr:`cache` attached and no ``limit``, every query is
+        probed *before* classification and dispatch — a hit skips the
+        pool entirely — and every completed (un-timed-out) result fills
+        the cache with the shape's observed EWMA cost as its admission
+        weight.
         """
         if timeouts is not None and len(timeouts) != len(queries):
             raise ValueError(
@@ -305,19 +330,37 @@ class QueryScheduler:
             list(timeouts) if timeouts is not None
             else [timeout] * len(queries)
         )
-        if self.workers <= 1:
-            serial: list[QueryResult] = []
+        results: list[QueryResult | None] = [None] * len(queries)
+        cache = self.cache if limit is None else None
+        if cache is not None:
             for index, query in enumerate(queries):
+                results[index] = cache.probe(  # type: ignore[attr-defined]
+                    self._db, query, engine=self._auto.select(query)
+                )
+        if self.workers <= 1:
+            for index, query in enumerate(queries):
+                if results[index] is not None:
+                    continue
                 outcome = self._auto.evaluate(
                     query, timeout=budgets[index], limit=limit
                 )
-                serial.append(outcome)
-            return serial
+                results[index] = outcome
+                if cache is not None:
+                    self._fill_cache(
+                        query,
+                        outcome,
+                        outcome.engine,
+                        query_signature(outcome.engine, query),
+                    )
+            return [result for result in results if result is not None]
         plans = [
-            self.classify(query, index) for index, query in enumerate(queries)
+            self.classify(query, index)
+            for index, query in enumerate(queries)
+            if results[index] is None
         ]
+        if not plans:
+            return [result for result in results if result is not None]
         plan_by_index = {plan.index: plan for plan in plans}
-        results: list[QueryResult | None] = [None] * len(plans)
 
         # Small queries first: fill the pool with grouped whole-query
         # round trips through a bounded pending window...
@@ -328,12 +371,19 @@ class QueryScheduler:
             outcomes: list[QueryOutcome] = handle.get()  # type: ignore[attr-defined]
             pool.reconcile(outcomes)
             for outcome in outcomes:
-                results[outcome.index] = _result_from_outcome(outcome)
+                result = _result_from_outcome(outcome)
+                results[outcome.index] = result
                 # Feed the measured wall time back into the LPT cost
                 # model so later batches group by observed seconds.
-                self.record_elapsed(
-                    plan_by_index[outcome.index], outcome.elapsed
-                )
+                plan = plan_by_index[outcome.index]
+                self.record_elapsed(plan, outcome.elapsed)
+                if cache is not None:
+                    self._fill_cache(
+                        queries[outcome.index],
+                        result,
+                        plan.engine,
+                        plan.signature,
+                    )
 
         pooled = [plan for plan in plans if plan.route == "pooled"]
         for group in self._group_pooled(pooled):
@@ -366,6 +416,7 @@ class QueryScheduler:
                 workers=self.workers,
                 timeout=budgets[plan.index],
                 limit=limit,
+                subplan_cache=cache,
             )
             if outcome is None:
                 result = driver.evaluate(
@@ -378,9 +429,30 @@ class QueryScheduler:
                 )
                 result.phase_seconds["evaluate"] = outcome.stats.elapsed
             results[plan.index] = result
+            if cache is not None:
+                self._fill_cache(
+                    queries[plan.index], result, plan.engine, plan.signature
+                )
         for handle in pending:
             _drain(handle)
         return [result for result in results if result is not None]
+
+    def _fill_cache(
+        self,
+        query: ExtendedBGP,
+        result: QueryResult,
+        engine: str,
+        signature: tuple[str, int, int, int],
+    ) -> None:
+        """Admit a completed result, weighted by the shape's EWMA cost."""
+        cache = self.cache
+        if cache is None:
+            return
+        observed = self._observed_s.get(signature)
+        cost = observed if observed is not None else result.elapsed
+        cache.fill(  # type: ignore[attr-defined]
+            self._db, query, result, engine=engine, cost_s=cost
+        )
 
 
 def _result_from_outcome(outcome: QueryOutcome) -> QueryResult:

@@ -48,6 +48,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro.cache import CacheConfig, DEFAULT_MAX_BYTES, QueryCache
 from repro.engines.auto import AutoEngine
 from repro.engines.database import GraphDatabase
 from repro.engines.ring_knn import RingKnnEngine, RingKnnSEngine
@@ -117,6 +118,14 @@ class ServeConfig:
     debug_faults: bool = False
     """Allow the ``debug`` request field (fault-injection battery)."""
 
+    cache: bool = True
+    """Share a cross-query result cache (:mod:`repro.cache`) between
+    the scheduler's batched route and the direct route; ``repro serve
+    --no-cache`` disables it."""
+
+    cache_bytes: int = DEFAULT_MAX_BYTES
+    """Byte budget of the shared cache's packed solution matrices."""
+
 
 @dataclass(frozen=True)
 class _HttpResponse:
@@ -156,15 +165,26 @@ class ReproServer:
         self.admission = AdmissionController(
             config.capacity, parallelism=max(1, config.workers)
         )
+        # One cache for every route: the batched scheduler path, the
+        # direct (traced / pinned) path, and /explain --analyze all
+        # probe and fill the same table. QueryCache is internally
+        # locked, so the /metrics scrape from the event loop is safe
+        # against fills on the dispatch thread.
+        self.cache: QueryCache | None = (
+            QueryCache(CacheConfig(max_bytes=config.cache_bytes))
+            if config.cache
+            else None
+        )
         self._scheduler = QueryScheduler(
             db,
             workers=config.workers,
             parallel_threshold=config.parallel_threshold,
+            cache=self.cache,
         )
         # Direct route: `auto` inherits the scheduler's pool (same
         # (db, workers) cache key) so traced requests reuse the warm
         # workers; pinned engines are the serial strategies themselves.
-        self._auto = AutoEngine(db, workers=config.workers)
+        self._auto = AutoEngine(db, workers=config.workers, cache=self.cache)
         self._serial = {
             engine.name: engine
             for engine in (RingKnnEngine(db), RingKnnSEngine(db))
@@ -355,7 +375,11 @@ class ReproServer:
         """Map a QueryResult to HTTP: flagged timeout → typed 504."""
         body = protocol.query_response(result, route, trace=trace_document)
         self.metrics.observe_query(
-            route, result.elapsed, body["stats"], timed_out=result.timed_out
+            route,
+            result.elapsed,
+            body["stats"],
+            timed_out=result.timed_out,
+            cached=bool(getattr(result, "cached", False)),
         )
         if result.timed_out:
             reason = TimeoutExceeded(result.elapsed, len(result.solutions))
@@ -469,6 +493,7 @@ class ReproServer:
             analyze=request.analyze,
             timeout=remaining,
             workers=self.config.workers,
+            cache=self.cache,
         )
         trace_document = None
         analysis = report.analysis
@@ -539,6 +564,7 @@ class ReproServer:
             "workers": self.config.workers,
             "engines": ["auto", *sorted(self._serial)],
             "store": None if backing is None else backing.describe(),
+            "cache": self.cache is not None,
         }
 
     async def _handle_query(self, body: bytes) -> _HttpResponse:
@@ -657,11 +683,14 @@ class ReproServer:
             if method != "GET":
                 return _method_not_allowed("GET")
             gauges = self._gauges()
+            cache_stats = None if self.cache is None else self.cache.stats()
             if "format=json" in query_string:
-                return _HttpResponse(200, self.metrics.as_dict(gauges))
+                return _HttpResponse(
+                    200, self.metrics.as_dict(gauges, cache=cache_stats)
+                )
             return _HttpResponse(
                 200,
-                self.metrics.render_text(gauges),
+                self.metrics.render_text(gauges, cache=cache_stats),
                 content_type="text/plain; version=0.0.4",
             )
         return _HttpResponse(

@@ -33,6 +33,18 @@ _OP_FIELDS = ("rank", "select", "access", "range_next", "range_count",
 #: Evaluation-stat totals accumulated from query results.
 _STAT_FIELDS = ("solutions", "bindings", "attempts", "leap_calls")
 
+#: Lifetime-event fields of a :meth:`repro.cache.QueryCache.stats`
+#: snapshot (rendered as Prometheus counters).
+_CACHE_EVENT_FIELDS = (
+    "hits", "misses", "fills", "evictions", "invalidations",
+    "inadmissible", "first_level_hits", "first_level_misses",
+)
+
+#: Occupancy fields of the same snapshot (rendered as gauges).
+_CACHE_GAUGE_FIELDS = (
+    "entries", "first_level_entries", "bytes", "max_bytes",
+)
+
 
 def _escape_label(value: str) -> str:
     """Escape a Prometheus label value (backslash, quote, newline)."""
@@ -55,6 +67,7 @@ class ServerMetrics:
         self._queries_timeout = 0
         self._queries_error = 0
         self._queries_shed = 0
+        self._queries_cached = 0
         self._stat_totals: dict[str, int] = {f: 0 for f in _STAT_FIELDS}
         self._query_seconds_total = 0.0
         self._query_seconds_max = 0.0
@@ -84,6 +97,7 @@ class ServerMetrics:
         elapsed: float,
         stats: Mapping[str, int],
         timed_out: bool,
+        cached: bool = False,
     ) -> None:
         """Fold one completed evaluation into the totals."""
         elapsed = max(0.0, float(elapsed))
@@ -95,6 +109,8 @@ class ServerMetrics:
                 self._queries_timeout += 1
             else:
                 self._queries_ok += 1
+            if cached:
+                self._queries_cached += 1
             for field in _STAT_FIELDS:
                 self._stat_totals[field] += int(stats.get(field, 0))
             self._query_seconds_total += elapsed
@@ -125,8 +141,17 @@ class ServerMetrics:
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
-    def as_dict(self, gauges: Mapping[str, float] | None = None) -> dict:
-        """JSON snapshot (the same numbers the text exposition renders)."""
+    def as_dict(
+        self,
+        gauges: Mapping[str, float] | None = None,
+        cache: Mapping[str, int] | None = None,
+    ) -> dict:
+        """JSON snapshot (the same numbers the text exposition renders).
+
+        ``cache`` is a :meth:`repro.cache.QueryCache.stats` snapshot;
+        None means the server runs without a cache and the section is
+        omitted entirely.
+        """
         with self._lock:
             document: dict[str, Any] = {
                 "uptime_seconds": time.monotonic() - self._started,
@@ -141,6 +166,7 @@ class ServerMetrics:
                     "timeout": self._queries_timeout,
                     "error": self._queries_error,
                     "shed": self._queries_shed,
+                    "cached": self._queries_cached,
                     "by_route": dict(sorted(self._queries_by_route.items())),
                     "traced": self._traced_queries,
                 },
@@ -156,9 +182,15 @@ class ServerMetrics:
             }
         if gauges:
             document["gauges"] = {k: gauges[k] for k in sorted(gauges)}
+        if cache is not None:
+            document["cache"] = {k: int(cache[k]) for k in sorted(cache)}
         return document
 
-    def render_text(self, gauges: Mapping[str, float] | None = None) -> str:
+    def render_text(
+        self,
+        gauges: Mapping[str, float] | None = None,
+        cache: Mapping[str, int] | None = None,
+    ) -> str:
         """Prometheus text exposition (format 0.0.4)."""
         lines: list[str] = []
 
@@ -198,6 +230,13 @@ class ServerMetrics:
                     ('{outcome="error"}', float(self._queries_error)),
                     ('{outcome="shed"}', float(self._queries_shed)),
                 ],
+            )
+            metric(
+                "repro_queries_cached_total",
+                "Completed query evaluations answered from the "
+                "cross-query cache.",
+                "counter",
+                [("", float(self._queries_cached))],
             )
             metric(
                 "repro_queries_by_route_total",
@@ -268,4 +307,23 @@ class ServerMetrics:
                 "gauge",
                 [("", float(gauges[name]))],  # type: ignore[index]
             )
+        if cache is not None:
+            metric(
+                "repro_cache_events_total",
+                "Cross-query cache lifetime events "
+                "(repro.cache.QueryCache.stats).",
+                "counter",
+                [
+                    (f'{{event="{field}"}}', float(cache.get(field, 0)))
+                    for field in _CACHE_EVENT_FIELDS
+                ],
+            )
+            for field in _CACHE_GAUGE_FIELDS:
+                metric(
+                    f"repro_cache_{field}",
+                    f"Cross-query cache occupancy: "
+                    f"{field.replace('_', ' ')}.",
+                    "gauge",
+                    [("", float(cache.get(field, 0)))],
+                )
         return "\n".join(lines) + "\n"

@@ -71,7 +71,7 @@ _SOLUTION_SCHEMA = {"type": "object", "values": {"type": "integer"}}
 QUERY_RESPONSE_SCHEMA: dict[str, Any] = {
     "type": "object",
     "required": ["status", "engine", "route", "solutions", "elapsed",
-                 "timed_out", "stats"],
+                 "timed_out", "cached", "stats"],
     "properties": {
         "status": {"type": "string", "enum": ["ok"]},
         "engine": {"type": "string"},
@@ -79,6 +79,7 @@ QUERY_RESPONSE_SCHEMA: dict[str, Any] = {
         "solutions": {"type": "array", "items": _SOLUTION_SCHEMA},
         "elapsed": {"type": "number", "minimum": 0},
         "timed_out": {"type": "boolean"},
+        "cached": {"type": "boolean"},
         "stats": {"type": "object", "values": _COUNTER},
         "trace": dict(TRACE_SCHEMA, type=["object", "null"]),
     },
@@ -252,6 +253,7 @@ def query_response(
         "solutions": encode_solutions(result.solutions),
         "elapsed": max(0.0, float(result.elapsed)),
         "timed_out": bool(result.timed_out),
+        "cached": bool(getattr(result, "cached", False)),
         "stats": {
             "solutions": int(stats.solutions),
             "bindings": int(stats.bindings),

@@ -1,0 +1,20 @@
+# reprolint-module: repro.cache.fixture_probe
+"""RPL003 fixture: cache probe plumbing touching a trace unguarded."""
+
+
+class LeakyProbe:
+    def __init__(self, store, trace=None):
+        self._store = store
+        self._trace = trace
+
+    def probe(self, key):
+        entry = self._store.get(key)
+        # unguarded: tracing may be off (self._trace is None)
+        self._trace.record("cache_probe", hit=entry is not None)
+        return entry
+
+    def probe_guarded(self, key):
+        entry = self._store.get(key)
+        if self._trace is not None:
+            self._trace.record("cache_probe", hit=entry is not None)
+        return entry

@@ -1,0 +1,32 @@
+# reprolint-module: repro.cache.fixture_engine
+"""RPL005 fixture: a caching engine wrapper breaking the result contract.
+
+``BadCachingEngine.evaluate`` returns a bare dict on its hit path —
+exactly one finding. ``GoodCachingEngine.evaluate`` returns a name
+bound to ``cache.probe(...)`` (a blessed ``QueryResult | None``
+factory) on hits and delegates to the inner engine otherwise — clean.
+"""
+
+
+class BadCachingEngine:
+    def __init__(self, inner, cache):
+        self._inner = inner
+        self._cache = cache
+
+    def evaluate(self, query, timeout=None, limit=None, trace=None):
+        hit = self._cache.probe(query)
+        if hit is not None:
+            return {"solutions": hit.solutions, "cached": True}
+        return self._inner.evaluate(query, timeout=timeout, limit=limit)
+
+
+class GoodCachingEngine:
+    def __init__(self, inner, cache):
+        self._inner = inner
+        self._cache = cache
+
+    def evaluate(self, query, timeout=None, limit=None, trace=None):
+        hit = self._cache.probe(query)
+        if hit is not None:
+            return hit
+        return self._inner.evaluate(query, timeout=timeout, limit=limit)

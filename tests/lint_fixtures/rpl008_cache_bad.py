@@ -1,0 +1,39 @@
+# reprolint-module: repro.cache.fixture_spill
+"""RPL008 fixture: cache spill/stats paths that strand a resource.
+
+``leaky_spill_read`` leaks its mapping when ``unpack`` raises;
+``leaky_stats_probe`` leaks the store on the early-return branch. The
+``clean_*`` twins exercise sanctioned ownership outcomes.
+"""
+
+import mmap
+
+
+def leaky_spill_read(handle, unpack):
+    mapping = mmap.mmap(handle.fileno(), 0)
+    entry = unpack(mapping)  # may raise -> the mapping is stranded
+    mapping.close()
+    return entry
+
+
+def leaky_stats_probe(path, query):
+    store = IndexStore(path)
+    if query is None:
+        return None  # store still mapped on this path
+    stats = store.describe()
+    store.close()
+    return stats
+
+
+def clean_spill_read(handle, unpack):
+    mapping = mmap.mmap(handle.fileno(), 0)
+    with mapping:
+        return unpack(mapping)
+
+
+def clean_stats_probe(path):
+    store = IndexStore(path)
+    try:
+        return store.describe()
+    finally:
+        store.close()

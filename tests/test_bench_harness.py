@@ -152,6 +152,32 @@ def test_one_sided_timeout_still_flags_regression():
     assert any("figure2:Q1/ring-knn" in r for r in diff.regressions)
 
 
+def test_cache_group_walls_are_diffed_stats_snapshot_skipped():
+    """The cache section's cold/fill/warm walls gate like any other
+    group; its counter snapshot (no ``total_s``) is informational."""
+    before, after = _doc(), _doc()
+    before["cache"] = {
+        "cold": {"total_s": 1.0},
+        "warm": {"total_s": 0.1, "hit_rate": 1.0},
+        "stats": {"hits": 3, "misses": 1},
+    }
+    after["cache"] = {
+        "cold": {"total_s": 1.0},
+        "warm": {"total_s": 0.5, "hit_rate": 1.0},
+        "stats": {"hits": 9, "misses": 7},
+    }
+    diff = diff_bench(before, after, tolerance=0.2)
+    assert any("cache:warm" in r for r in diff.regressions)
+    assert not any("cache:stats" in line for line in diff.lines)
+
+
+def test_cache_group_absent_on_one_side_is_skipped():
+    before, after = _doc(), _doc()
+    after["cache"] = {"cold": {"total_s": 1.0}, "warm": {"total_s": 0.1}}
+    diff = diff_bench(before, after)
+    assert diff.ok, (diff.mismatches, diff.regressions)
+
+
 def test_completed_in_both_total_reported():
     diff = diff_bench(_doc(q1_s=4.0), _doc(q1_s=1.0))
     assert any("figure2-completed-in-both:TOTAL" in line for line in diff.lines)

@@ -109,6 +109,96 @@ class TestExplain:
         assert "plan for" in out
 
 
+class TestCacheCommands:
+    def test_cache_stats_replays_a_workload(
+        self, bundle_path, tmp_path, capsys
+    ):
+        import json
+
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "(?e, 0, ?img)\n"
+            "(?e, 0, ?img) . knn(?img, ?other, 3)\n"
+        )
+        code = main(
+            [
+                "cache", "stats", "--data", str(bundle_path),
+                "--queries", str(queries), "--repeat", "2",
+            ]
+        )
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        # Two passes over two queries: the second pass hits everything
+        # the first admitted.
+        assert stats["fills"] >= 1
+        assert stats["hits"] >= 1
+        assert stats["hit_rate"] == pytest.approx(
+            stats["hits"] / (stats["hits"] + stats["misses"])
+        )
+        assert 0 < stats["bytes"] <= stats["max_bytes"]
+
+    def test_cache_stats_requires_a_source(self, capsys):
+        code = main(["cache", "stats"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "Traceback" not in captured.err
+        assert "ValidationError" in captured.err
+
+    def test_explain_analyze_reports_cache_outcome(
+        self, bundle_path, capsys
+    ):
+        argv = [
+            "explain", "--data", str(bundle_path),
+            "--query", "(?e, 0, ?img) . knn(?img, ?other, 2)",
+            "--analyze",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache: miss" in out
+        assert "signature=" in out
+        assert "[stored]" in out
+
+    def test_explain_analyze_no_cache_omits_the_line(
+        self, bundle_path, capsys
+    ):
+        argv = [
+            "explain", "--data", str(bundle_path),
+            "--query", "(?e, 0, ?img) . knn(?img, ?other, 2)",
+            "--analyze", "--no-cache",
+        ]
+        assert main(argv) == 0
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_serve_batch_prints_cache_summary(
+        self, bundle_path, tmp_path, capsys
+    ):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("(?e, 0, ?img)\n(?e, 0, ?img)\n")
+        code = main(
+            [
+                "serve-batch", "--data", str(bundle_path),
+                "--queries", str(queries), "--workers", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out and "fills" in out
+
+    def test_serve_batch_no_cache_runs_without_summary(
+        self, bundle_path, tmp_path, capsys
+    ):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("(?e, 0, ?img)\n")
+        code = main(
+            [
+                "serve-batch", "--data", str(bundle_path),
+                "--queries", str(queries), "--workers", "1", "--no-cache",
+            ]
+        )
+        assert code == 0
+        assert "cache:" not in capsys.readouterr().out
+
+
 class TestExperimentCommands:
     def test_figure3_table(self, capsys):
         code = main(

@@ -137,6 +137,24 @@ class TestRPL003ObsGuard:
         )
         assert all(f.line < guarded_line for f in result.findings)
 
+    def test_cache_package_is_in_obs_scope(self):
+        from repro.analysis.config import OBS_GUARD_PREFIXES, in_scope
+
+        assert in_scope("repro.cache.store", OBS_GUARD_PREFIXES)
+        result = lint_fixture("rpl003_cache_bad.py", ["RPL003"])
+        assert len(result.findings) == 1
+        assert "self._trace.record" in result.findings[0].message
+        # The guarded twin of the same access must stay clean.
+        guarded_line = next(
+            i
+            for i, text in enumerate(
+                (FIXTURES / "rpl003_cache_bad.py").read_text().splitlines(),
+                1,
+            )
+            if "probe_guarded" in text
+        )
+        assert all(f.line < guarded_line for f in result.findings)
+
 
 class TestRPL004Determinism:
     def test_flags_each_nondeterminism_kind(self):
@@ -185,6 +203,17 @@ class TestRPL005EngineContract:
         from repro.analysis.config import ENGINE_MODULE_PREFIXES, in_scope
 
         assert in_scope("repro.serve.app", ENGINE_MODULE_PREFIXES)
+
+    def test_cache_package_is_in_engine_scope_probe_blessed(self):
+        from repro.analysis.config import ENGINE_MODULE_PREFIXES, in_scope
+
+        assert in_scope("repro.cache.store", ENGINE_MODULE_PREFIXES)
+        # The bad engine's dict-shaped hit return is the only finding:
+        # the good twin's `return hit` (bound from cache.probe(...), a
+        # QueryResult | None factory) is blessed.
+        result = lint_fixture("rpl005_cache_bad.py", ["RPL005"])
+        assert len(result.findings) == 1
+        assert "BadCachingEngine" in result.findings[0].message
 
 
 class TestRPL006StrictTyping:
@@ -259,6 +288,25 @@ class TestRPL008ResourceLifecycle:
         flagged = {f.line for f in result.findings}
         # No finding lands at or after the first clean function.
         assert all(line < min(clean_starts) for line in flagged)
+
+    def test_cache_package_is_in_resource_scope(self):
+        from repro.analysis.config import RESOURCE_PREFIXES, in_scope
+
+        assert in_scope("repro.cache.store", RESOURCE_PREFIXES)
+        result = lint_fixture("rpl008_cache_bad.py", ["RPL008"])
+        by_line = {f.line: f.message for f in result.findings}
+        assert len(by_line) == 2
+        messages = list(by_line.values())
+        assert any("'mapping'" in m for m in messages)
+        assert any("'store'" in m for m in messages)
+        # The clean twins below the leaky pair must stay silent.
+        source = (FIXTURES / "rpl008_cache_bad.py").read_text()
+        clean_start = min(
+            i
+            for i, text in enumerate(source.splitlines(), start=1)
+            if text.startswith("def clean_")
+        )
+        assert all(line < clean_start for line in by_line)
 
 
 class TestRPL009BlockingInAsync:

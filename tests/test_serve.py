@@ -335,6 +335,51 @@ class TestGoldenWorkload:
 
 
 # ----------------------------------------------------------------------
+# cross-query cache over the wire
+# ----------------------------------------------------------------------
+
+
+class TestServedCache:
+    def test_repeat_query_served_from_cache_byte_identical(self, golden):
+        family, text, auto_solutions, _serial, _doc = golden.cases[1]
+        first_status, _, first = _post(
+            golden.handle, "/query", {"query": text}
+        )
+        status, _, second = _post(golden.handle, "/query", {"query": text})
+        assert first_status == 200 and status == 200, (family, second)
+        protocol.validate_query_response(second)
+        assert second["cached"] is True
+        assert first["solutions"] == auto_solutions
+        assert second["solutions"] == auto_solutions, (
+            f"{family}: warm hit diverged from the cold serial answer"
+        )
+        assert second["stats"] == first["stats"]
+
+    def test_metrics_expose_cache_counters(self, golden):
+        _family, text, *_rest = golden.cases[2]
+        for _ in range(2):
+            status, _, _body = _post(
+                golden.handle, "/query", {"query": text}
+            )
+            assert status == 200
+        _, _, document = _get(golden.handle, "/metrics?format=json")
+        cache = document["cache"]
+        assert cache["hits"] >= 1
+        assert cache["fills"] >= 1
+        assert cache["entries"] >= 1
+        assert 0 < cache["bytes"] <= cache["max_bytes"]
+        assert document["queries"]["cached"] >= 1
+        _, _, text_body = _get(golden.handle, "/metrics")
+        assert 'repro_cache_events_total{event="hits"}' in text_body
+        assert "repro_cache_bytes" in text_body
+        assert "repro_queries_cached_total" in text_body
+
+    def test_healthz_reports_cache_enabled(self, golden):
+        _, _, body = _get(golden.handle, "/healthz")
+        assert body["cache"] is True
+
+
+# ----------------------------------------------------------------------
 # request validation over the wire
 # ----------------------------------------------------------------------
 
